@@ -1,0 +1,63 @@
+// Command wgtt-experiments regenerates every table and figure from the
+// paper's evaluation on the simulated substrate (see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+// comparisons).
+//
+// Usage:
+//
+//	wgtt-experiments                # run everything (takes minutes)
+//	wgtt-experiments -quick         # trimmed sweeps
+//	wgtt-experiments fig13 table2   # run selected artifacts
+//	wgtt-experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wgtt/internal/eval"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "trimmed sweeps")
+		list  = flag.Bool("list", false, "list experiment IDs")
+		seed  = flag.Uint64("seed", 2017, "base seed")
+	)
+	flag.Parse()
+
+	exps := eval.Experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[a] = true
+	}
+	opt := eval.Options{Seed: *seed, Quick: *quick}
+
+	failed := 0
+	for _, e := range exps {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		start := time.Now()
+		res, err := e.Run(opt)
+		if err != nil {
+			fmt.Printf("ERROR: %v\n\n", err)
+			failed++
+			continue
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

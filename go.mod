@@ -1,0 +1,3 @@
+module wgtt
+
+go 1.22

@@ -1,0 +1,440 @@
+// Package ap implements the WGTT access point (§3, §4.2): the per-client
+// cyclic downlink queue indexed by the controller's 12-bit packet index, the
+// stop/start switching hooks that let the controller quench this AP and hand
+// its backlog position to a neighbour, monitor-mode Block ACK forwarding,
+// uplink tunneling with per-frame CSI reports, and association-state sync.
+//
+// The queueing pipeline mirrors the paper's Fig. 7: tunneled packets land in
+// the client's cyclic queue; MPDUs are pulled into an A-MPDU only at the
+// moment the medium is won (so a stop that arrives while contending removes
+// them before they reach the air); unacknowledged MPDUs wait in a retry
+// queue that a stop flushes, exactly like the driver-queue filtering the
+// paper adds to ieee80211_ops_tx().
+package ap
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"wgtt/internal/backhaul"
+	"wgtt/internal/mac"
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+// Config parameterizes one AP.
+type Config struct {
+	ID    int
+	Name  string // radio endpoint name ("ap1"…)
+	IP    packet.IPv4Addr
+	MAC   packet.MACAddr
+	BSSID packet.MACAddr
+
+	// CyclicQueueSlots is the per-client ring size; with 12-bit indices the
+	// paper's design point is 4096.
+	CyclicQueueSlots int
+	// MaxAggregate bounds MPDUs per A-MPDU.
+	MaxAggregate int
+	// MaxAggregateBytes bounds an A-MPDU's payload bytes.
+	MaxAggregateBytes int
+	// RetryLimit is the per-MPDU transmission attempt budget.
+	RetryLimit int
+
+	// StopProcessing and StartProcessing model the user-space Click +
+	// ioctl handling latency of control packets on the TP-Link APs; they
+	// dominate the paper's ~17–21 ms switch execution time (Table 1).
+	StopProcessing  sim.Time
+	StartProcessing sim.Time
+	// ProcessingJitter adds ±jitter uniform noise to the above.
+	ProcessingJitter sim.Time
+
+	// BAForwarding enables §3.2.1 monitor-mode Block ACK forwarding.
+	BAForwarding bool
+	// UplinkForwarding enables §3.2.2 uplink tunneling to the controller
+	// (disabled for the baseline AP, which uses its own uplink path).
+	UplinkForwarding bool
+	// ForwardOnlyWhenServing restricts uplink tunneling to the serving AP —
+	// the ablation of WGTT's multi-AP uplink diversity (Fig. 18's benefit).
+	ForwardOnlyWhenServing bool
+}
+
+// DefaultConfig returns the testbed AP configuration.
+func DefaultConfig(id int, bssid packet.MACAddr) Config {
+	return Config{
+		ID:                id,
+		Name:              fmt.Sprintf("ap%d", id+1),
+		IP:                packet.APIP(id),
+		MAC:               packet.APMAC(id),
+		BSSID:             bssid,
+		CyclicQueueSlots:  1 << packet.IndexBits,
+		MaxAggregate:      24,
+		MaxAggregateBytes: 48 * 1024,
+		RetryLimit:        7,
+		StopProcessing:    7 * sim.Millisecond,
+		StartProcessing:   9 * sim.Millisecond,
+		ProcessingJitter:  4 * sim.Millisecond,
+		BAForwarding:      true,
+		UplinkForwarding:  true,
+	}
+}
+
+// Stats counts AP-side events for the evaluation harness.
+type Stats struct {
+	DownEnqueued    uint64 // packets accepted into cyclic queues
+	DownOverwritten uint64 // ring slots overwritten before being sent
+	MPDUsDelivered  uint64 // MPDUs acknowledged by the client
+	MPDUsDropped    uint64 // MPDUs dropped at the retry limit
+	MPDUsFlushed    uint64 // retry MPDUs flushed by a stop
+	StopsHandled    uint64
+	StartsHandled   uint64
+	StartRewinds    uint64 // starts that moved nextSend backward
+	RewindDepth     uint64 // cumulative backward distance
+	BAForwarded     uint64 // Block ACKs forwarded to peers
+	BAMerged        uint64 // forwarded Block ACKs merged into retry state
+	BADuplicates    uint64 // forwarded Block ACKs discarded as already seen
+	UplinkForwarded uint64 // uplink packets tunneled to the controller
+	CSIReports      uint64
+}
+
+// clientState is everything this AP tracks for one mobile client.
+type clientState struct {
+	mac  packet.MACAddr
+	ip   packet.IPv4Addr
+	ring []*packet.Packet // cyclic queue, slot = index % slots
+	// nextSend is the index of the first unsent packet — the k that a
+	// stop(c) queries and a start(c, k) installs.
+	nextSend uint16
+	// head is one past the newest index the controller has enqueued here.
+	// It bounds transmission: because the 12-bit index equals the ring
+	// slot modulo the ring size, slot contents alone cannot distinguish
+	// "fresh packet" from "stale entry from a previous lap".
+	head uint16
+	// haveAny reports whether any packet was ever enqueued (so an AP that
+	// never heard from the controller doesn't transmit garbage).
+	haveAny bool
+	// serving is true while this AP is the one transmitting to the client.
+	serving bool
+	// retryQ holds sent-but-unacknowledged MPDUs awaiting retransmission.
+	retryQ []*mac.MPDU
+	// drainQ holds MPDUs the NIC hardware queue is allowed to finish
+	// sending after a stop (§3.1.2 lets AP1 drain ~6 ms of hardware-queued
+	// frames over its inferior link rather than discard them).
+	drainQ []*mac.MPDU
+	// lastEnqueue is when the controller last fanned a packet here.
+	lastEnqueue sim.Time
+	// seenBA de-duplicates Block ACK state (own NIC or forwarded), keyed by
+	// (ssn, bitmap) — the §3.2.1 "received before" check.
+	seenBA map[uint64]bool
+}
+
+// staleRingAfter is how long a client's ring may sit idle before its
+// cursors are considered stale and resynchronized on the next enqueue.
+const staleRingAfter = sim.Second
+
+// AP is one WGTT access point.
+type AP struct {
+	cfg Config
+	eng *sim.Engine
+	bh  *backhaul.Switch
+	st  *mac.Station
+	rnd *rand.Rand
+
+	controller packet.IPv4Addr
+	peers      []packet.IPv4Addr // other APs (for start + BA forwarding)
+
+	clients map[packet.MACAddr]*clientState
+	rr      []packet.MACAddr // round-robin order over serving clients
+
+	Stats Stats
+
+	// OnDeliver, if set, observes every MPDU acknowledged by a client
+	// (evaluation hook).
+	OnDeliver func(p *packet.Packet, at sim.Time)
+	// OnFrameTx, if set, observes every data frame this AP puts on the air
+	// (evaluation hook for link bit-rate distributions, Figs. 15–16).
+	OnFrameTx func(rateMbps float64, mpdus int, at sim.Time)
+}
+
+// New creates an AP, wiring it to the backhaul and its MAC station. The
+// station must have been created with the AP's radio endpoint; the AP
+// installs itself as the station's Sink and Source.
+func New(cfg Config, eng *sim.Engine, bh *backhaul.Switch, st *mac.Station, controller packet.IPv4Addr, rnd *rand.Rand) *AP {
+	a := &AP{
+		cfg:        cfg,
+		eng:        eng,
+		bh:         bh,
+		st:         st,
+		rnd:        rnd,
+		controller: controller,
+		clients:    make(map[packet.MACAddr]*clientState),
+	}
+	st.SetSink(a)
+	st.SetSource(a)
+	bh.Attach(cfg.IP, a)
+	return a
+}
+
+// Config returns the AP's configuration.
+func (a *AP) Config() Config { return a.cfg }
+
+// Station returns the AP's MAC station.
+func (a *AP) Station() *mac.Station { return a.st }
+
+// SetPeers installs the backhaul addresses of the other APs.
+func (a *AP) SetPeers(peers []packet.IPv4Addr) { a.peers = peers }
+
+// Serving reports whether this AP currently transmits to the client.
+func (a *AP) Serving(client packet.MACAddr) bool {
+	cs := a.clients[client]
+	return cs != nil && cs.serving
+}
+
+// QueueDepth returns the number of buffered-but-unsent packets for a client
+// (cyclic queue occupancy from nextSend to the write head) plus pending
+// retries — the backlog a switch must deal with.
+func (a *AP) QueueDepth(client packet.MACAddr) int {
+	cs := a.clients[client]
+	if cs == nil {
+		return 0
+	}
+	n := len(cs.retryQ) + len(cs.drainQ)
+	if cs.backlog() {
+		n += int(packet.IndexDist(cs.nextSend, cs.head))
+	}
+	return n
+}
+
+func (a *AP) client(m packet.MACAddr) *clientState {
+	cs, ok := a.clients[m]
+	if !ok {
+		cs = &clientState{
+			mac:    m,
+			ring:   make([]*packet.Packet, a.cfg.CyclicQueueSlots),
+			seenBA: make(map[uint64]bool),
+		}
+		a.clients[m] = cs
+		a.rr = append(a.rr, m)
+	}
+	return cs
+}
+
+// Associate installs (or updates) client association state, either from a
+// local association or a replicated AssocSync.
+func (a *AP) Associate(client packet.MACAddr, ip packet.IPv4Addr, serving bool) {
+	cs := a.client(client)
+	cs.ip = ip
+	cs.serving = serving
+}
+
+func (a *AP) jitter() sim.Time {
+	if a.cfg.ProcessingJitter <= 0 {
+		return 0
+	}
+	j := a.cfg.ProcessingJitter
+	return sim.Time(a.rnd.Int64N(int64(2*j))) - j
+}
+
+// HandleBackhaul implements backhaul.Node. Control packets (stop/start) are
+// modelled with their user-space processing delay; data tunneling is
+// immediate (it lands in a queue, not on the air).
+func (a *AP) HandleBackhaul(from packet.IPv4Addr, msg packet.Message) {
+	switch m := msg.(type) {
+	case *packet.DownData:
+		a.enqueueDownlink(m.Pkt)
+	case *packet.Stop:
+		a.eng.After(max(0, a.cfg.StopProcessing+a.jitter()), func() { a.handleStop(m) })
+	case *packet.Start:
+		a.eng.After(max(0, a.cfg.StartProcessing+a.jitter()), func() { a.handleStart(m) })
+	case *packet.BlockAckFwd:
+		a.handleForwardedBA(m)
+	case *packet.AssocSync:
+		a.Associate(m.Client, m.ClientIP, false)
+	}
+}
+
+// enqueueDownlink stores a tunneled packet in the client's cyclic queue.
+func (a *AP) enqueueDownlink(p *packet.Packet) {
+	cs := a.client(p.ClientMAC)
+	slot := int(p.Index) % a.cfg.CyclicQueueSlots
+	if old := cs.ring[slot]; old != nil && !cs.sent(old.Index) {
+		a.Stats.DownOverwritten++
+	}
+	cs.ring[slot] = p
+	now := a.eng.Now()
+	if !cs.haveAny {
+		cs.haveAny = true
+		cs.nextSend = p.Index
+		cs.head = p.Index
+	} else if now-cs.lastEnqueue > staleRingAfter {
+		// The ring has been idle so long that its cursors describe a
+		// bygone flow (and, after enough index wraps, possibly a bogus
+		// half-space). Resynchronize to the resumed stream.
+		cs.nextSend = p.Index
+		cs.head = p.Index
+	}
+	cs.lastEnqueue = now
+	// Advance the write head for in-order (or re-entrant after a fanout
+	// gap) arrivals; stale re-deliveries behind the head are just stored.
+	if packet.IndexDist(cs.head, p.Index) < uint16(a.cfg.CyclicQueueSlots/2) || cs.head == p.Index {
+		cs.head = packet.NextIndex(p.Index)
+	}
+	// Cyclic overwrite: when the writer laps the reader, the oldest unsent
+	// packets are gone — exactly what a ring buffer does under overload.
+	// Keep the backlog within half the index space so forward-distance
+	// arithmetic stays unambiguous.
+	maxBacklog := uint16(a.cfg.CyclicQueueSlots/2 - 64)
+	if cs.backlog() {
+		if d := packet.IndexDist(cs.nextSend, cs.head); d > maxBacklog {
+			dropped := d - maxBacklog
+			cs.nextSend = (cs.nextSend + dropped) & packet.IndexMask
+			a.Stats.DownOverwritten += uint64(dropped)
+		}
+	} else if cs.haveAny && cs.nextSend != cs.head &&
+		packet.IndexDist(cs.nextSend, cs.head) > uint16(a.cfg.CyclicQueueSlots/2) {
+		// The reader fell more than half the space behind (or a stale
+		// start pointed far ahead): resynchronize to a bounded backlog.
+		cs.nextSend = (cs.head - maxBacklog) & packet.IndexMask
+		a.Stats.DownOverwritten++
+	}
+	a.Stats.DownEnqueued++
+	if cs.serving {
+		a.st.Kick()
+	}
+}
+
+// backlog reports whether the client has fresh (unsent) packets between
+// nextSend and the write head.
+func (cs *clientState) backlog() bool {
+	if !cs.haveAny || cs.nextSend == cs.head {
+		return false
+	}
+	// nextSend must be within the forward half-space of head; a start(k)
+	// pointing past everything we have buffered means nothing to send yet.
+	return packet.IndexDist(cs.nextSend, cs.head) <= uint16(len(cs.ring)/2)
+}
+
+// sent reports whether index idx is before the next-send pointer (i.e. the
+// AP considers it already sent).
+func (cs *clientState) sent(idx uint16) bool {
+	return packet.IndexDist(idx, cs.nextSend) != 0 &&
+		packet.IndexDist(idx, cs.nextSend) < uint16(len(cs.ring)/2)
+}
+
+// handleStop is step (1)+(2) of the switching protocol at the old AP: quench
+// the client, query the first unsent index (the modelled ioctl), filter
+// pending retries out of the driver queue, and send start(c, k) to the new
+// AP. The MPDUs already committed to the in-flight A-MPDU still go out —
+// the paper's NIC-hardware-queue drain.
+func (a *AP) handleStop(m *packet.Stop) {
+	a.Stats.StopsHandled++
+	cs := a.client(m.Client)
+	k := cs.nextSend
+	if !cs.serving {
+		// Duplicate stop (controller timeout retransmission): still answer
+		// with the current position so the protocol converges.
+		if debugSwitch != nil {
+			debugSwitch(a.cfg.ID, "stale-stop", m.SwitchID, k)
+		}
+		a.sendStart(m, k)
+		return
+	}
+	cs.serving = false
+	// Driver-queue MPDUs already handed toward the NIC get one final
+	// transmission opportunity (the hardware-queue drain); they are not
+	// retried again after that.
+	cs.drainQ = append(cs.drainQ, cs.retryQ...)
+	cs.retryQ = nil
+	a.sendStart(m, k)
+	a.st.Kick()
+}
+
+func (a *AP) sendStart(m *packet.Stop, k uint16) {
+	start := &packet.Start{Client: m.Client, Index: k, SwitchID: m.SwitchID}
+	if err := a.bh.Send(a.cfg.IP, m.NextAP, start); err != nil {
+		// Unknown next AP: nothing to do; the controller's timeout fires.
+		return
+	}
+}
+
+// debugSwitch, when set, traces switching anomalies (test/debug hook).
+var debugSwitch func(apID int, what string, switchID uint32, k uint16)
+
+// SetDebugSwitch installs a package-wide switching-anomaly tracer (debug
+// tooling only; not safe to set while a simulation runs).
+func SetDebugSwitch(fn func(apID int, what string, switchID uint32, k uint16)) {
+	debugSwitch = fn
+}
+
+// handleStart is step (3) at the new AP: jump the cyclic-queue cursor to k,
+// take over transmission, and ack the controller.
+func (a *AP) handleStart(m *packet.Start) {
+	a.Stats.StartsHandled++
+	cs := a.client(m.Client)
+	if !cs.haveAny {
+		// Taking over with an empty ring (this AP joined the fan-out set
+		// late): align the write head with the resume point, or the head
+		// logic would treat every subsequent enqueue as a stale redelivery.
+		cs.head = m.Index
+	}
+	if cs.haveAny {
+		if back := packet.IndexDist(m.Index, cs.nextSend); back != 0 && back < 2048 {
+			a.Stats.StartRewinds++
+			a.Stats.RewindDepth += uint64(back)
+			if debugSwitch != nil {
+				debugSwitch(a.cfg.ID, "rewind", m.SwitchID, m.Index)
+			}
+		}
+	}
+	cs.nextSend = m.Index
+	cs.haveAny = true
+	cs.serving = true
+	ack := &packet.SwitchAck{Client: m.Client, AP: a.cfg.IP, SwitchID: m.SwitchID}
+	_ = a.bh.Send(a.cfg.IP, a.controller, ack)
+	a.st.Kick()
+}
+
+// handleForwardedBA merges a Block ACK forwarded by a neighbour into this
+// AP's retry state — the ath_tx_complete_aggr() injection of §3.2.1.
+func (a *AP) handleForwardedBA(m *packet.BlockAckFwd) {
+	cs, ok := a.clients[m.Client]
+	if !ok || !cs.serving {
+		return
+	}
+	key := uint64(m.SSN)<<48 ^ m.Bitmap
+	if cs.seenBA[key] {
+		a.Stats.BADuplicates++
+		return
+	}
+	a.rememberBA(cs, key)
+	merged := a.completeFromBitmap(cs, m.SSN, m.Bitmap)
+	if merged > 0 {
+		a.Stats.BAMerged += uint64(merged)
+	}
+}
+
+// rememberBA records a scoreboard with bounded memory.
+func (a *AP) rememberBA(cs *clientState, key uint64) {
+	if len(cs.seenBA) > 256 {
+		cs.seenBA = make(map[uint64]bool, 64)
+	}
+	cs.seenBA[key] = true
+}
+
+// completeFromBitmap removes retry-queue MPDUs acknowledged by the bitmap.
+func (a *AP) completeFromBitmap(cs *clientState, ssn uint16, bitmap uint64) int {
+	kept := cs.retryQ[:0]
+	done := 0
+	for _, mp := range cs.retryQ {
+		if mac.BitmapAcks(ssn, bitmap, mp.Seq) {
+			done++
+			a.Stats.MPDUsDelivered++
+			if a.OnDeliver != nil && mp.Pkt != nil {
+				a.OnDeliver(mp.Pkt, a.eng.Now())
+			}
+			continue
+		}
+		kept = append(kept, mp)
+	}
+	cs.retryQ = kept
+	return done
+}

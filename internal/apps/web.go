@@ -1,0 +1,37 @@
+package apps
+
+import (
+	"math"
+
+	"wgtt/internal/sim"
+	"wgtt/internal/transport"
+)
+
+// WebConfig describes a page-load workload.
+type WebConfig struct {
+	// PageBytes is the page weight; the paper loads the eBay home page,
+	// 2.1 MB, from a local cache server.
+	PageBytes int
+	// MSS is the TCP segment payload size.
+	MSS int
+}
+
+// DefaultWebConfig returns the §5.4 web-browsing workload.
+func DefaultWebConfig() WebConfig {
+	return WebConfig{PageBytes: 2_100_000, MSS: transport.DefaultMSS}
+}
+
+// Segments returns the transfer length in TCP segments.
+func (w WebConfig) Segments() uint32 {
+	return uint32((w.PageBytes + w.MSS - 1) / w.MSS)
+}
+
+// PageLoadSeconds converts a completion timestamp into the paper's Table 5
+// metric: seconds from start, or +Inf when the page never finished within
+// the drive (the paper prints "∞").
+func PageLoadSeconds(start, done sim.Time, completed bool) float64 {
+	if !completed {
+		return math.Inf(1)
+	}
+	return (done - start).Seconds()
+}

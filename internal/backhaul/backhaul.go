@@ -1,0 +1,131 @@
+// Package backhaul models the switched Ethernet LAN that interconnects the
+// WGTT APs and the controller (§4). Only two of its properties matter to the
+// protocols built on top: sub-millisecond unicast latency, and the fact that
+// control messages can occasionally be lost (the paper's switching protocol
+// carries a 30 ms retransmission timeout for exactly that case), which the
+// Drop hook lets tests inject.
+package backhaul
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+// Node receives backhaul messages.
+type Node interface {
+	// HandleBackhaul delivers one message sent to this node's address.
+	HandleBackhaul(from packet.IPv4Addr, msg packet.Message)
+}
+
+// NodeFunc adapts a function to the Node interface.
+type NodeFunc func(from packet.IPv4Addr, msg packet.Message)
+
+// HandleBackhaul implements Node.
+func (f NodeFunc) HandleBackhaul(from packet.IPv4Addr, msg packet.Message) { f(from, msg) }
+
+// Switch is the Ethernet fabric. It is store-and-forward with a fixed
+// one-way latency; bandwidth is assumed ample (the paper's gigabit LAN
+// never saturates at roadside AP loads).
+type Switch struct {
+	eng     *sim.Engine
+	latency sim.Time
+	nodes   map[packet.IPv4Addr]Node
+
+	// Verify, when true, runs every message through its wire encoding and
+	// delivers the decoded copy, so the binary formats are exercised on
+	// every simulated send.
+	Verify bool
+
+	// Drop, if non-nil, is consulted per message; returning true discards
+	// it (control-loss failure injection).
+	Drop func(to packet.IPv4Addr, msg packet.Message) bool
+
+	sent    uint64
+	dropped uint64
+	bytes   uint64
+}
+
+// NewSwitch creates a switch with the given one-way delivery latency.
+func NewSwitch(eng *sim.Engine, latency sim.Time) *Switch {
+	return &Switch{
+		eng:     eng,
+		latency: latency,
+		nodes:   make(map[packet.IPv4Addr]Node),
+		Verify:  true,
+	}
+}
+
+// Latency returns the one-way delivery latency.
+func (s *Switch) Latency() sim.Time { return s.latency }
+
+// Attach registers a node at an address. Attaching twice replaces the
+// previous node (useful in tests).
+func (s *Switch) Attach(addr packet.IPv4Addr, n Node) {
+	if n == nil {
+		panic("backhaul: nil node")
+	}
+	s.nodes[addr] = n
+}
+
+// Send delivers msg to the node at to after the switch latency. Sending to
+// an unattached address returns an error — it is always an assembly bug.
+func (s *Switch) Send(from, to packet.IPv4Addr, msg packet.Message) error {
+	node, ok := s.nodes[to]
+	if !ok {
+		return fmt.Errorf("backhaul: no node at %v", to)
+	}
+	if s.Drop != nil && s.Drop(to, msg) {
+		s.dropped++
+		return nil
+	}
+	deliver := msg
+	if s.Verify {
+		raw := packet.Encode(msg)
+		s.bytes += uint64(len(raw))
+		decoded, err := packet.Decode(raw)
+		if err != nil {
+			return fmt.Errorf("backhaul: wire round-trip of %v failed: %w", msg.Type(), err)
+		}
+		deliver = decoded
+	}
+	s.sent++
+	s.eng.After(s.latency, func() { node.HandleBackhaul(from, deliver) })
+	return nil
+}
+
+// Broadcast sends msg to every attached node except the sender.
+func (s *Switch) Broadcast(from packet.IPv4Addr, msg packet.Message) {
+	for addr := range s.nodes {
+		if addr == from {
+			continue
+		}
+		// Errors are impossible here: every address is attached.
+		_ = s.Send(from, addr, msg)
+	}
+}
+
+// Stats reports the number of delivered and dropped messages and the total
+// encoded bytes (when Verify is on).
+func (s *Switch) Stats() (sent, dropped, bytes uint64) { return s.sent, s.dropped, s.bytes }
+
+// RandomDrop returns a Drop hook that discards each message independently
+// with probability p, using the given stream.
+func RandomDrop(p float64, rnd *rand.Rand) func(packet.IPv4Addr, packet.Message) bool {
+	return func(packet.IPv4Addr, packet.Message) bool { return rnd.Float64() < p }
+}
+
+// DropTypes returns a Drop hook that discards messages of the listed types
+// with probability p — e.g. only Stop and SwitchAck, to exercise the
+// switching protocol's 30 ms retransmission path.
+func DropTypes(p float64, rnd *rand.Rand, types ...packet.MsgType) func(packet.IPv4Addr, packet.Message) bool {
+	set := make(map[packet.MsgType]bool, len(types))
+	for _, t := range types {
+		set[t] = true
+	}
+	return func(_ packet.IPv4Addr, msg packet.Message) bool {
+		return set[msg.Type()] && rnd.Float64() < p
+	}
+}

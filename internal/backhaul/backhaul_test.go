@@ -1,0 +1,171 @@
+package backhaul
+
+import (
+	"testing"
+
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+type recorder struct {
+	msgs []packet.Message
+	from []packet.IPv4Addr
+	at   []sim.Time
+	eng  *sim.Engine
+}
+
+func (r *recorder) HandleBackhaul(from packet.IPv4Addr, msg packet.Message) {
+	r.msgs = append(r.msgs, msg)
+	r.from = append(r.from, from)
+	r.at = append(r.at, r.eng.Now())
+}
+
+func TestSendLatencyAndDelivery(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, 200*sim.Microsecond)
+	rec := &recorder{eng: eng}
+	sw.Attach(packet.APIP(1), rec)
+
+	msg := &packet.Stop{Client: packet.ClientMAC(1), NextAP: packet.APIP(2), SwitchID: 5}
+	if err := sw.Send(packet.ControllerIP, packet.APIP(1), msg); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(rec.msgs) != 1 {
+		t.Fatalf("delivered %d messages", len(rec.msgs))
+	}
+	if rec.at[0] != 200*sim.Microsecond {
+		t.Errorf("delivered at %v, want 200µs", rec.at[0])
+	}
+	if rec.from[0] != packet.ControllerIP {
+		t.Errorf("from = %v", rec.from[0])
+	}
+	got, ok := rec.msgs[0].(*packet.Stop)
+	if !ok || got.SwitchID != 5 || got.Client != packet.ClientMAC(1) {
+		t.Errorf("message mangled: %+v", rec.msgs[0])
+	}
+}
+
+func TestSendUnattached(t *testing.T) {
+	sw := NewSwitch(sim.NewEngine(), sim.Microsecond)
+	if err := sw.Send(packet.ControllerIP, packet.APIP(9), &packet.Stop{}); err == nil {
+		t.Error("send to unattached address succeeded")
+	}
+}
+
+func TestVerifyRoundTripsWire(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, sim.Microsecond)
+	rec := &recorder{eng: eng}
+	sw.Attach(packet.APIP(1), rec)
+	orig := &packet.Start{Client: packet.ClientMAC(2), Index: 777, SwitchID: 3}
+	if err := sw.Send(packet.APIP(0), packet.APIP(1), orig); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if rec.msgs[0] == packet.Message(orig) {
+		t.Error("Verify mode should deliver a decoded copy, not the original pointer")
+	}
+	got := rec.msgs[0].(*packet.Start)
+	if *got != *orig {
+		t.Errorf("decoded copy differs: %+v vs %+v", got, orig)
+	}
+	_, _, bytes := sw.Stats()
+	if bytes == 0 {
+		t.Error("byte accounting missing")
+	}
+}
+
+func TestVerifyOff(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, sim.Microsecond)
+	sw.Verify = false
+	rec := &recorder{eng: eng}
+	sw.Attach(packet.APIP(1), rec)
+	orig := &packet.Start{Index: 1}
+	_ = sw.Send(packet.APIP(0), packet.APIP(1), orig)
+	eng.Run()
+	if rec.msgs[0] != packet.Message(orig) {
+		t.Error("Verify off should deliver the original")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, sim.Microsecond)
+	recs := make([]*recorder, 3)
+	for i := range recs {
+		recs[i] = &recorder{eng: eng}
+		sw.Attach(packet.APIP(i), recs[i])
+	}
+	sw.Broadcast(packet.APIP(0), &packet.AssocSync{Client: packet.ClientMAC(1), AID: 1})
+	eng.Run()
+	if len(recs[0].msgs) != 0 {
+		t.Error("broadcast echoed to sender")
+	}
+	if len(recs[1].msgs) != 1 || len(recs[2].msgs) != 1 {
+		t.Error("broadcast missed a node")
+	}
+}
+
+func TestDropHook(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, sim.Microsecond)
+	rec := &recorder{eng: eng}
+	sw.Attach(packet.APIP(1), rec)
+	sw.Drop = func(packet.IPv4Addr, packet.Message) bool { return true }
+	_ = sw.Send(packet.ControllerIP, packet.APIP(1), &packet.Stop{})
+	eng.Run()
+	if len(rec.msgs) != 0 {
+		t.Error("dropped message was delivered")
+	}
+	sent, dropped, _ := sw.Stats()
+	if sent != 0 || dropped != 1 {
+		t.Errorf("stats = %d sent, %d dropped", sent, dropped)
+	}
+}
+
+func TestRandomDropRate(t *testing.T) {
+	rnd := sim.NewRNG(1).Stream("drop")
+	drop := RandomDrop(0.3, rnd)
+	n, dropped := 10000, 0
+	for i := 0; i < n; i++ {
+		if drop(packet.APIP(1), &packet.Stop{}) {
+			dropped++
+		}
+	}
+	rate := float64(dropped) / float64(n)
+	if rate < 0.27 || rate > 0.33 {
+		t.Errorf("drop rate = %v, want ≈ 0.3", rate)
+	}
+}
+
+func TestDropTypesSelective(t *testing.T) {
+	rnd := sim.NewRNG(2).Stream("drop")
+	drop := DropTypes(1.0, rnd, packet.MsgStop)
+	if !drop(packet.APIP(1), &packet.Stop{}) {
+		t.Error("Stop not dropped")
+	}
+	if drop(packet.APIP(1), &packet.Start{}) {
+		t.Error("Start dropped despite not being listed")
+	}
+}
+
+func TestAttachNilPanics(t *testing.T) {
+	sw := NewSwitch(sim.NewEngine(), sim.Microsecond)
+	defer func() {
+		if recover() == nil {
+			t.Error("nil node accepted")
+		}
+	}()
+	sw.Attach(packet.APIP(0), nil)
+}
+
+func TestNodeFunc(t *testing.T) {
+	called := false
+	var n Node = NodeFunc(func(packet.IPv4Addr, packet.Message) { called = true })
+	n.HandleBackhaul(packet.ControllerIP, &packet.Stop{})
+	if !called {
+		t.Error("NodeFunc not invoked")
+	}
+}

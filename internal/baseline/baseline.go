@@ -1,0 +1,347 @@
+// Package baseline implements the paper's comparison scheme, "Enhanced
+// 802.11r" (§5.1): a performance-tuned 802.11r/k fast-roaming stack in
+// which every AP beacons at 100 ms, the client roams when its serving AP's
+// RSSI falls below a threshold (to the AP with the highest RSSI, with a one
+// second time hysteresis), and association/authentication state is
+// pre-shared among APs so the re-association exchange is a single
+// management round trip.
+//
+// Unlike WGTT, the wired side forwards each downlink packet to exactly one
+// AP — the one the client is associated with — so a late handover strands
+// the old AP's backlog behind a dead link, the §3.1.2 buffering pathology.
+package baseline
+
+import (
+	"math"
+
+	"wgtt/internal/ap"
+	"wgtt/internal/backhaul"
+	"wgtt/internal/client"
+	"wgtt/internal/mac"
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+// NetworkConfig parameterizes the baseline wired side.
+type NetworkConfig struct {
+	// BeaconInterval is the per-AP beacon period (100 ms in §5.1).
+	BeaconInterval sim.Time
+	// OldAPLinger is how long the previous AP keeps transmitting after the
+	// client re-associates elsewhere — the association-state propagation
+	// delay of a vendor controller.
+	OldAPLinger sim.Time
+}
+
+// DefaultNetworkConfig returns the §5.1 operating point.
+func DefaultNetworkConfig() NetworkConfig {
+	return NetworkConfig{
+		BeaconInterval: 100 * sim.Millisecond,
+		OldAPLinger:    100 * sim.Millisecond,
+	}
+}
+
+// Network is the baseline distribution system: it routes each client's
+// downlink through its single associated AP and relays uplink packets the
+// (single) AP tunnels up.
+type Network struct {
+	cfg NetworkConfig
+	eng *sim.Engine
+	bh  *backhaul.Switch
+	aps []*ap.AP
+
+	current map[packet.MACAddr]int
+	ips     map[packet.MACAddr]packet.IPv4Addr
+
+	// DeliverUplink receives uplink packets (no de-dup needed: one AP).
+	DeliverUplink func(p *packet.Packet, at sim.Time)
+
+	// Handovers records completed association moves.
+	Handovers []Handover
+}
+
+// Handover is one baseline association change.
+type Handover struct {
+	At       sim.Time
+	Client   packet.MACAddr
+	From, To int
+}
+
+// NewNetwork creates the baseline wired side and attaches it at the
+// controller address.
+func NewNetwork(cfg NetworkConfig, eng *sim.Engine, bh *backhaul.Switch, aps []*ap.AP) *Network {
+	n := &Network{
+		cfg:     cfg,
+		eng:     eng,
+		bh:      bh,
+		aps:     aps,
+		current: make(map[packet.MACAddr]int),
+		ips:     make(map[packet.MACAddr]packet.IPv4Addr),
+	}
+	bh.Attach(packet.ControllerIP, n)
+	return n
+}
+
+// HandleBackhaul implements backhaul.Node.
+func (n *Network) HandleBackhaul(_ packet.IPv4Addr, msg packet.Message) {
+	if up, ok := msg.(*packet.UpData); ok && n.DeliverUplink != nil {
+		n.DeliverUplink(up.Pkt, n.eng.Now())
+	}
+}
+
+// Associate installs a client at its initial AP.
+func (n *Network) Associate(clientMAC packet.MACAddr, ip packet.IPv4Addr, apID int) {
+	n.current[clientMAC] = apID
+	n.ips[clientMAC] = ip
+	for i, a := range n.aps {
+		a.Associate(clientMAC, ip, i == apID)
+	}
+}
+
+// CurrentAP returns the AP a client is associated with (-1 if unknown).
+func (n *Network) CurrentAP(clientMAC packet.MACAddr) int {
+	id, ok := n.current[clientMAC]
+	if !ok {
+		return -1
+	}
+	return id
+}
+
+// ClientAssociated performs the wired-side half of a re-association: route
+// downlink to the new AP immediately, let the old AP linger briefly (state
+// propagation), then quench it.
+func (n *Network) ClientAssociated(clientMAC packet.MACAddr, apID int) {
+	old, ok := n.current[clientMAC]
+	if ok && old == apID {
+		return
+	}
+	n.current[clientMAC] = apID
+	ip := n.ips[clientMAC]
+	n.aps[apID].Associate(clientMAC, ip, true)
+	n.aps[apID].Station().Kick()
+	if ok {
+		oldAP := n.aps[old]
+		n.eng.After(n.cfg.OldAPLinger, func() {
+			if n.current[clientMAC] != old {
+				oldAP.Associate(clientMAC, ip, false)
+			}
+		})
+	}
+	n.Handovers = append(n.Handovers, Handover{At: n.eng.Now(), Client: clientMAC, From: old, To: apID})
+}
+
+// SendDownlink forwards one downlink packet to the client's current AP. The
+// 12-bit index keeps the client-side duplicate filter uniform across modes.
+func (n *Network) SendDownlink(p *packet.Packet, idx *uint16) error {
+	apID, ok := n.current[p.ClientMAC]
+	if !ok {
+		return errUnknownClient
+	}
+	p.Index = *idx
+	*idx = packet.NextIndex(*idx)
+	a := n.aps[apID]
+	return n.bh.Send(packet.ControllerIP, a.Config().IP, &packet.DownData{APDst: a.Config().IP, Pkt: p})
+}
+
+var errUnknownClient = errorString("baseline: unknown client")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// StartBeacons schedules staggered 100 ms beacons on every AP, forever.
+func (n *Network) StartBeacons() {
+	for i, a := range n.aps {
+		a := a
+		offset := sim.Time(i) * n.cfg.BeaconInterval / sim.Time(len(n.aps))
+		var beacon func()
+		beacon = func() {
+			st := a.Station()
+			from := a.Config().MAC
+			st.SendOneShot(func() *mac.Frame {
+				return &mac.Frame{
+					Kind:  mac.KindBeacon,
+					From:  from,
+					To:    mac.BroadcastAddr,
+					MPDUs: []*mac.MPDU{{Bytes: 100}},
+				}
+			}, nil)
+			n.eng.After(n.cfg.BeaconInterval, beacon)
+		}
+		n.eng.After(offset, beacon)
+	}
+}
+
+// RoamerConfig parameterizes the client-side roamer.
+type RoamerConfig struct {
+	// ThresholdDBm: roam when the serving AP's smoothed RSSI is below this.
+	ThresholdDBm float64
+	// Hysteresis is the §5.1 one-second time hysteresis between roams.
+	Hysteresis sim.Time
+	// EWMA is the RSSI smoothing weight on the previous estimate.
+	EWMA float64
+	// ReassocProcessing models authentication/association completion after
+	// the management exchange (fast thanks to pre-shared 802.11r state).
+	ReassocProcessing sim.Time
+	// ReassocAttempts bounds management-frame tries per roam.
+	ReassocAttempts int
+	// RetryGap spaces successive reassociation attempts.
+	RetryGap sim.Time
+	// StaleAfter treats an AP unheard for this long as gone (its RSSI no
+	// longer counts, and a silent serving AP counts as below threshold).
+	StaleAfter sim.Time
+}
+
+// DefaultRoamerConfig returns the §5.1 client policy.
+func DefaultRoamerConfig() RoamerConfig {
+	return RoamerConfig{
+		// The threshold sits near the bottom of the usable range: like the
+		// commercial clients the paper measures (§2), the baseline hangs on
+		// to its AP until the link is nearly dead before roaming.
+		ThresholdDBm:      -82,
+		Hysteresis:        sim.Second,
+		EWMA:              0.92,
+		ReassocProcessing: 50 * sim.Millisecond,
+		ReassocAttempts:   5,
+		RetryGap:          20 * sim.Millisecond,
+		StaleAfter:        sim.Second,
+	}
+}
+
+// APAddr identifies one AP to the roamer.
+type APAddr struct {
+	ID  int
+	MAC packet.MACAddr
+}
+
+// Roamer is the baseline client-side handover policy.
+type Roamer struct {
+	cfg RoamerConfig
+	eng *sim.Engine
+	cl  *client.Client
+	net *Network
+	aps []APAddr
+
+	rssi     []float64
+	heard    []bool
+	lastSeen []sim.Time
+	current  int
+	lastRoam sim.Time
+	roaming  bool
+
+	// Stats.
+	Roams        uint64
+	RoamFailures uint64
+}
+
+// NewRoamer attaches roaming logic to a client. The client must already be
+// associated to startAP (both locally and in the Network).
+func NewRoamer(cfg RoamerConfig, eng *sim.Engine, cl *client.Client, net *Network, aps []APAddr, startAP int) *Roamer {
+	r := &Roamer{
+		cfg:      cfg,
+		eng:      eng,
+		cl:       cl,
+		net:      net,
+		aps:      aps,
+		rssi:     make([]float64, len(aps)),
+		heard:    make([]bool, len(aps)),
+		lastSeen: make([]sim.Time, len(aps)),
+		current:  startAP,
+	}
+	cl.OnBeacon = r.onBeacon
+	return r
+}
+
+// Current returns the AP the roamer believes it is associated with.
+func (r *Roamer) Current() int { return r.current }
+
+func (r *Roamer) apIndex(mac packet.MACAddr) int {
+	for _, a := range r.aps {
+		if a.MAC == mac {
+			return a.ID
+		}
+	}
+	return -1
+}
+
+func (r *Roamer) onBeacon(from packet.MACAddr, rssiDBm float64, at sim.Time) {
+	i := r.apIndex(from)
+	if i < 0 {
+		return
+	}
+	if !r.heard[i] {
+		r.rssi[i] = rssiDBm
+		r.heard[i] = true
+	} else {
+		r.rssi[i] = r.cfg.EWMA*r.rssi[i] + (1-r.cfg.EWMA)*rssiDBm
+	}
+	r.lastSeen[i] = at
+	r.evaluate(at)
+}
+
+// evaluate applies the §5.1 policy: switch to the highest-RSSI AP once the
+// serving AP drops below the threshold, at most once per hysteresis period.
+func (r *Roamer) evaluate(now sim.Time) {
+	if r.roaming || now-r.lastRoam < r.cfg.Hysteresis {
+		return
+	}
+	servingRSSI := math.Inf(-1)
+	if r.heard[r.current] && now-r.lastSeen[r.current] <= r.cfg.StaleAfter {
+		servingRSSI = r.rssi[r.current]
+	}
+	if servingRSSI >= r.cfg.ThresholdDBm {
+		return
+	}
+	best, bestRSSI := -1, math.Inf(-1)
+	for i := range r.aps {
+		if !r.heard[i] || now-r.lastSeen[i] > r.cfg.StaleAfter {
+			continue
+		}
+		if r.rssi[i] > bestRSSI {
+			best, bestRSSI = i, r.rssi[i]
+		}
+	}
+	if best < 0 || best == r.current || bestRSSI <= servingRSSI {
+		return
+	}
+	r.reassociate(best, 0)
+}
+
+// reassociate runs the management exchange toward the target AP, retrying
+// a bounded number of times (the client in the paper's §2 experiment is
+// seen retransmitting its re-association frames).
+func (r *Roamer) reassociate(target, attempt int) {
+	r.roaming = true
+	st := r.cl.Station()
+	to := r.aps[target].MAC
+	from := r.cl.Config().MAC
+	st.SendOneShot(func() *mac.Frame {
+		return &mac.Frame{
+			Kind:  mac.KindMgmt,
+			From:  from,
+			To:    to,
+			MCS:   0,
+			MPDUs: []*mac.MPDU{{Seq: st.NextSeq(to), Bytes: 120}},
+		}
+	}, func(res *mac.TxResult) {
+		if res != nil && res.BAReceived {
+			r.eng.After(r.cfg.ReassocProcessing, func() { r.finishRoam(target) })
+			return
+		}
+		if attempt+1 < r.cfg.ReassocAttempts {
+			r.eng.After(r.cfg.RetryGap, func() { r.reassociate(target, attempt+1) })
+			return
+		}
+		r.RoamFailures++
+		r.roaming = false
+		r.lastRoam = r.eng.Now() // back off a full hysteresis before retrying
+	})
+}
+
+func (r *Roamer) finishRoam(target int) {
+	r.current = target
+	r.cl.SetDest(r.aps[target].MAC)
+	r.net.ClientAssociated(r.cl.Config().MAC, target)
+	r.lastRoam = r.eng.Now()
+	r.roaming = false
+	r.Roams++
+}

@@ -1,0 +1,391 @@
+package controller
+
+import (
+	"fmt"
+
+	"wgtt/internal/backhaul"
+	"wgtt/internal/csi"
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+// Config parameterizes the controller.
+type Config struct {
+	// Window is the ESNR comparison window W of §3.1.1; the paper's
+	// microbenchmark (Fig. 21) selects 10 ms.
+	Window sim.Time
+	// Hysteresis is the minimum dwell time between switches of one client
+	// (Fig. 22 sweeps 40–120 ms).
+	Hysteresis sim.Time
+	// SwitchTimeout is the stop-packet retransmission timeout (§3.1.2).
+	SwitchTimeout sim.Time
+	// FanoutWindow bounds how recently an AP must have heard the client to
+	// receive copies of its downlink packets (the paper fans out to APs
+	// heard within the selection window; a slightly longer horizon is used
+	// here so momentary uplink silence does not empty the set).
+	FanoutWindow sim.Time
+	// MedianMarginDB requires the challenger AP's median ESNR to beat the
+	// incumbent's by this much (0 reproduces the paper's plain argmax).
+	MedianMarginDB float64
+	// MinSamples is the minimum number of in-window ESNR readings an AP
+	// needs before it can be selected — one stray reading is not a median.
+	MinSamples int
+	// MinSwitchESNRdB gates handovers: a challenger whose median ESNR is
+	// below this cannot be worth a switch (it could not even carry MCS0),
+	// which stops the controller from thrashing among dead links when the
+	// client leaves coverage entirely.
+	MinSwitchESNRdB float64
+	// DedupCapacity bounds the uplink de-duplication hashset.
+	DedupCapacity int
+}
+
+// DefaultConfig returns the paper's operating point.
+func DefaultConfig() Config {
+	return Config{
+		Window:          10 * sim.Millisecond,
+		Hysteresis:      40 * sim.Millisecond,
+		SwitchTimeout:   30 * sim.Millisecond,
+		FanoutWindow:    100 * sim.Millisecond,
+		MedianMarginDB:  0,
+		MinSamples:      2,
+		MinSwitchESNRdB: -5,
+		DedupCapacity:   4096,
+	}
+}
+
+// APInfo describes one AP the controller commands.
+type APInfo struct {
+	ID  int
+	IP  packet.IPv4Addr
+	MAC packet.MACAddr
+}
+
+// SwitchRecord is one completed handover, for the evaluation timeline.
+type SwitchRecord struct {
+	At       sim.Time // when the ack arrived
+	Client   packet.MACAddr
+	From, To int
+	Duration sim.Time // stop sent → ack received (Table 1's execution time)
+	Attempts int      // stop transmissions needed
+}
+
+// Stats aggregates controller counters.
+type Stats struct {
+	CSIReports      uint64
+	SwitchesStarted uint64
+	SwitchesDone    uint64
+	StopRetransmits uint64
+	UplinkUnique    uint64
+	UplinkDuplicate uint64
+	DownlinkSent    uint64
+	DownlinkCopies  uint64
+}
+
+// switchOp is the single in-flight handover of one client.
+type switchOp struct {
+	id       uint32
+	from, to int
+	sentAt   sim.Time
+	attempts int
+	timer    *sim.Timer
+}
+
+// clientCtl is per-client controller state.
+type clientCtl struct {
+	mac packet.MACAddr
+	ip  packet.IPv4Addr
+
+	windows   []*esnrWindow // indexed by AP ID
+	lastHeard []sim.Time
+	heardEver []bool
+
+	serving    int
+	lastSwitch sim.Time
+	op         *switchOp
+
+	nextIndex uint16
+
+	dedup     map[packet.DedupKey]struct{}
+	dedupFIFO []packet.DedupKey
+
+	// UplinkHeard/UplinkDup per-client counters (Fig. 18 analysis).
+	UplinkUnique, UplinkDuplicate uint64
+}
+
+// Controller is the WGTT controller.
+type Controller struct {
+	cfg Config
+	eng *sim.Engine
+	bh  *backhaul.Switch
+	aps []APInfo
+
+	clients map[packet.MACAddr]*clientCtl
+
+	// DeliverUplink receives each de-duplicated uplink packet (the "strip
+	// tunnel header and forward to the Internet" hop).
+	DeliverUplink func(p *packet.Packet, at sim.Time)
+
+	// OnSwitch, if set, observes every completed switch.
+	OnSwitch func(rec SwitchRecord)
+
+	switchSeq uint32
+
+	Stats   Stats
+	History []SwitchRecord
+}
+
+// New creates a controller commanding the given APs and attaches it to the
+// backhaul at packet.ControllerIP.
+func New(cfg Config, eng *sim.Engine, bh *backhaul.Switch, aps []APInfo) *Controller {
+	c := &Controller{
+		cfg:     cfg,
+		eng:     eng,
+		bh:      bh,
+		aps:     aps,
+		clients: make(map[packet.MACAddr]*clientCtl),
+	}
+	bh.Attach(packet.ControllerIP, c)
+	return c
+}
+
+// Config returns the controller configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// RegisterClient installs a client with its initial serving AP (the AP it
+// completed 802.11 association with; §4.3 replicates that state everywhere).
+func (c *Controller) RegisterClient(mac packet.MACAddr, ip packet.IPv4Addr, servingAP int) {
+	cl := &clientCtl{
+		mac:       mac,
+		ip:        ip,
+		windows:   make([]*esnrWindow, len(c.aps)),
+		lastHeard: make([]sim.Time, len(c.aps)),
+		heardEver: make([]bool, len(c.aps)),
+		serving:   servingAP,
+		dedup:     make(map[packet.DedupKey]struct{}, c.cfg.DedupCapacity),
+	}
+	for i := range cl.windows {
+		cl.windows[i] = newWindow(c.cfg.Window)
+	}
+	c.clients[mac] = cl
+}
+
+// ServingAP returns the AP currently serving the client (-1 if unknown).
+func (c *Controller) ServingAP(mac packet.MACAddr) int {
+	cl := c.clients[mac]
+	if cl == nil {
+		return -1
+	}
+	return cl.serving
+}
+
+// MedianESNR exposes the current windowed median for (client, AP) — the
+// quantity the selection rule compares (evaluation hook).
+func (c *Controller) MedianESNR(mac packet.MACAddr, apID int) (float64, bool) {
+	cl := c.clients[mac]
+	if cl == nil || apID < 0 || apID >= len(cl.windows) {
+		return 0, false
+	}
+	return cl.windows[apID].median(c.eng.Now())
+}
+
+// HandleBackhaul implements backhaul.Node.
+func (c *Controller) HandleBackhaul(from packet.IPv4Addr, msg packet.Message) {
+	switch m := msg.(type) {
+	case *packet.CSIReport:
+		c.handleCSI(m)
+	case *packet.UpData:
+		c.handleUplink(m)
+	case *packet.SwitchAck:
+		c.handleSwitchAck(m)
+	case *packet.AssocSync:
+		if _, ok := c.clients[m.Client]; !ok {
+			c.RegisterClient(m.Client, m.ClientIP, c.apIndexByIP(from))
+		}
+	}
+}
+
+func (c *Controller) apIndexByIP(ip packet.IPv4Addr) int {
+	for _, a := range c.aps {
+		if a.IP == ip {
+			return a.ID
+		}
+	}
+	return 0
+}
+
+// handleCSI folds a report into the client's per-AP window and re-evaluates
+// AP selection.
+func (c *Controller) handleCSI(m *packet.CSIReport) {
+	cl := c.clients[m.Client]
+	if cl == nil {
+		return
+	}
+	apID := c.apIndexByIP(m.AP)
+	if apID < 0 || apID >= len(cl.windows) {
+		return
+	}
+	c.Stats.CSIReports++
+	esnr := csi.ESNRdB(m.SNRdB(), csi.DefaultESNRModulation)
+	at := sim.Time(m.At)
+	if now := c.eng.Now(); at > now || at < now-c.cfg.Window {
+		at = now
+	}
+	cl.windows[apID].push(at, esnr)
+	cl.lastHeard[apID] = c.eng.Now()
+	cl.heardEver[apID] = true
+	c.evaluate(cl)
+}
+
+// evaluate runs the §3.1.1 selection rule and §3.1.2 switching protocol.
+func (c *Controller) evaluate(cl *clientCtl) {
+	if cl.op != nil {
+		return // one outstanding switch at a time
+	}
+	now := c.eng.Now()
+	if now-cl.lastSwitch < c.cfg.Hysteresis {
+		return
+	}
+	minSamples := c.cfg.MinSamples
+	if minSamples < 1 {
+		minSamples = 1
+	}
+	best, bestMed := -1, 0.0
+	for id, w := range cl.windows {
+		med, ok := w.median(now)
+		if !ok || (id != cl.serving && w.size() < minSamples) {
+			continue
+		}
+		if best == -1 || med > bestMed {
+			best, bestMed = id, med
+		}
+	}
+	if best == -1 || best == cl.serving {
+		return
+	}
+	if bestMed < c.cfg.MinSwitchESNRdB {
+		return // nobody usable; switching would just churn
+	}
+	if med, ok := cl.windows[cl.serving].median(now); ok && bestMed < med+c.cfg.MedianMarginDB {
+		return
+	}
+	c.initiateSwitch(cl, best)
+}
+
+// initiateSwitch sends stop(c) to the serving AP and arms the timeout.
+func (c *Controller) initiateSwitch(cl *clientCtl, to int) {
+	c.switchSeq++
+	op := &switchOp{id: c.switchSeq, from: cl.serving, to: to, sentAt: c.eng.Now()}
+	cl.op = op
+	c.Stats.SwitchesStarted++
+	c.sendStop(cl, op)
+}
+
+func (c *Controller) sendStop(cl *clientCtl, op *switchOp) {
+	op.attempts++
+	stop := &packet.Stop{Client: cl.mac, NextAP: c.aps[op.to].IP, SwitchID: op.id}
+	_ = c.bh.Send(packet.ControllerIP, c.aps[op.from].IP, stop)
+	op.timer = c.eng.After(c.cfg.SwitchTimeout, func() {
+		if cl.op == op {
+			c.Stats.StopRetransmits++
+			c.sendStop(cl, op)
+		}
+	})
+}
+
+// handleSwitchAck completes the in-flight switch.
+func (c *Controller) handleSwitchAck(m *packet.SwitchAck) {
+	cl := c.clients[m.Client]
+	if cl == nil || cl.op == nil || cl.op.id != m.SwitchID {
+		return
+	}
+	op := cl.op
+	op.timer.Stop()
+	cl.op = nil
+	cl.serving = op.to
+	cl.lastSwitch = c.eng.Now()
+	rec := SwitchRecord{
+		At:       c.eng.Now(),
+		Client:   cl.mac,
+		From:     op.from,
+		To:       op.to,
+		Duration: c.eng.Now() - op.sentAt,
+		Attempts: op.attempts,
+	}
+	c.Stats.SwitchesDone++
+	c.History = append(c.History, rec)
+	if c.OnSwitch != nil {
+		c.OnSwitch(rec)
+	}
+}
+
+// SendDownlink accepts one downlink packet from the wired side, assigns its
+// 12-bit index, and fans it out to every AP that heard the client recently
+// (or all APs if none has yet).
+func (c *Controller) SendDownlink(p *packet.Packet) error {
+	cl := c.clients[p.ClientMAC]
+	if cl == nil {
+		return fmt.Errorf("controller: unknown client %v", p.ClientMAC)
+	}
+	p.Index = cl.nextIndex
+	cl.nextIndex = packet.NextIndex(cl.nextIndex)
+	c.Stats.DownlinkSent++
+
+	now := c.eng.Now()
+	anyHeard := false
+	for _, h := range cl.heardEver {
+		if h {
+			anyHeard = true
+			break
+		}
+	}
+	for _, a := range c.aps {
+		include := a.ID == cl.serving ||
+			(cl.heardEver[a.ID] && now-cl.lastHeard[a.ID] <= c.cfg.FanoutWindow)
+		if !anyHeard {
+			// Bootstrap: no AP has heard the client yet — fan out broadly.
+			include = true
+		}
+		if !include {
+			continue
+		}
+		_ = c.bh.Send(packet.ControllerIP, a.IP, &packet.DownData{APDst: a.IP, Pkt: p})
+		c.Stats.DownlinkCopies++
+	}
+	return nil
+}
+
+// handleUplink de-duplicates and forwards one tunneled uplink packet.
+func (c *Controller) handleUplink(m *packet.UpData) {
+	p := m.Pkt
+	cl := c.clients[p.ClientMAC]
+	key := packet.KeyOf(p)
+	if cl != nil {
+		if _, dup := cl.dedup[key]; dup {
+			cl.UplinkDuplicate++
+			c.Stats.UplinkDuplicate++
+			return
+		}
+		cl.dedup[key] = struct{}{}
+		cl.dedupFIFO = append(cl.dedupFIFO, key)
+		if len(cl.dedupFIFO) > c.cfg.DedupCapacity {
+			old := cl.dedupFIFO[0]
+			cl.dedupFIFO = cl.dedupFIFO[1:]
+			delete(cl.dedup, old)
+		}
+		cl.UplinkUnique++
+	}
+	c.Stats.UplinkUnique++
+	if c.DeliverUplink != nil {
+		c.DeliverUplink(p, c.eng.Now())
+	}
+}
+
+// ClientUplinkCounts returns (unique, duplicate) uplink packet counts for a
+// client.
+func (c *Controller) ClientUplinkCounts(mac packet.MACAddr) (unique, dup uint64) {
+	cl := c.clients[mac]
+	if cl == nil {
+		return 0, 0
+	}
+	return cl.UplinkUnique, cl.UplinkDuplicate
+}

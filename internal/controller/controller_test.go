@@ -1,0 +1,384 @@
+package controller
+
+import (
+	"sort"
+	"testing"
+
+	"wgtt/internal/backhaul"
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+func TestWindowMedianAndEviction(t *testing.T) {
+	w := newWindow(10 * sim.Millisecond)
+	if _, ok := w.median(0); ok {
+		t.Error("empty window reported a median")
+	}
+	w.push(1*sim.Millisecond, 10)
+	w.push(2*sim.Millisecond, 30)
+	w.push(3*sim.Millisecond, 20)
+	med, ok := w.median(3 * sim.Millisecond)
+	if !ok || med != 20 {
+		t.Errorf("median = %v, %v", med, ok)
+	}
+	// Paper's upper median for even counts: sorted[n/2].
+	w.push(4*sim.Millisecond, 40)
+	med, _ = w.median(4 * sim.Millisecond)
+	if med != 30 {
+		t.Errorf("even-count median = %v, want 30 (upper)", med)
+	}
+	// Everything slides out after 10 ms.
+	if _, ok := w.median(20 * sim.Millisecond); ok {
+		t.Error("stale window still reported a median")
+	}
+	if w.size() != 0 {
+		t.Errorf("window not evicted, size=%d", w.size())
+	}
+}
+
+func TestWindowLastHeard(t *testing.T) {
+	w := newWindow(10 * sim.Millisecond)
+	if _, ok := w.lastHeard(); ok {
+		t.Error("empty window has lastHeard")
+	}
+	w.push(5*sim.Millisecond, 1)
+	at, ok := w.lastHeard()
+	if !ok || at != 5*sim.Millisecond {
+		t.Errorf("lastHeard = %v, %v", at, ok)
+	}
+}
+
+// --- integrated controller harness over a backhaul with scripted APs ---
+
+type fakeAP struct {
+	id      int
+	eng     *sim.Engine
+	bh      *backhaul.Switch
+	ip      packet.IPv4Addr
+	stops   []*packet.Stop
+	starts  []*packet.Start
+	downs   []*packet.DownData
+	ackStop bool // respond to stop by emitting start at the next AP
+}
+
+func (f *fakeAP) HandleBackhaul(from packet.IPv4Addr, msg packet.Message) {
+	switch m := msg.(type) {
+	case *packet.Stop:
+		f.stops = append(f.stops, m)
+		if f.ackStop {
+			_ = f.bh.Send(f.ip, m.NextAP, &packet.Start{Client: m.Client, Index: 42, SwitchID: m.SwitchID})
+		}
+	case *packet.Start:
+		f.starts = append(f.starts, m)
+		_ = f.bh.Send(f.ip, packet.ControllerIP, &packet.SwitchAck{Client: m.Client, AP: f.ip, SwitchID: m.SwitchID})
+	case *packet.DownData:
+		f.downs = append(f.downs, m)
+	}
+}
+
+type ctlHarness struct {
+	eng  *sim.Engine
+	bh   *backhaul.Switch
+	ctl  *Controller
+	aps  []*fakeAP
+	macs packet.MACAddr
+}
+
+func newCtlHarness(t *testing.T, nAPs int, cfg Config) *ctlHarness {
+	t.Helper()
+	eng := sim.NewEngine()
+	bh := backhaul.NewSwitch(eng, 200*sim.Microsecond)
+	infos := make([]APInfo, nAPs)
+	aps := make([]*fakeAP, nAPs)
+	for i := 0; i < nAPs; i++ {
+		infos[i] = APInfo{ID: i, IP: packet.APIP(i), MAC: packet.APMAC(i)}
+		aps[i] = &fakeAP{id: i, eng: eng, bh: bh, ip: packet.APIP(i), ackStop: true}
+		bh.Attach(packet.APIP(i), aps[i])
+	}
+	ctl := New(cfg, eng, bh, infos)
+	return &ctlHarness{eng: eng, bh: bh, ctl: ctl, aps: aps}
+}
+
+func csiReport(client packet.MACAddr, ap int, at sim.Time, esnrDB float64) *packet.CSIReport {
+	rep := &packet.CSIReport{Client: client, AP: packet.APIP(ap), At: int64(at)}
+	snr := make([]float64, packet.CSISubcarriers)
+	for i := range snr {
+		snr[i] = esnrDB
+	}
+	rep.QuantizeSNR(snr)
+	return rep
+}
+
+func (h *ctlHarness) feedCSI(client packet.MACAddr, ap int, esnrDB float64) {
+	at := h.eng.Now()
+	_ = h.bh.Send(packet.APIP(ap), packet.ControllerIP, csiReport(client, ap, at, esnrDB))
+}
+
+func TestSelectionSwitchesToBestMedian(t *testing.T) {
+	h := newCtlHarness(t, 3, DefaultConfig())
+	client := packet.ClientMAC(1)
+	h.ctl.RegisterClient(client, packet.ClientIP(1), 0)
+
+	// AP0 fading, AP2 strong: CSI keeps arriving (as it does on a live
+	// link) until the hysteresis dwell has passed and the switch completes.
+	for i := 0; i < 60; i++ {
+		h.feedCSI(client, 0, 8)
+		h.feedCSI(client, 2, 20)
+		h.eng.RunUntil(h.eng.Now() + 2*sim.Millisecond)
+	}
+	h.eng.RunUntil(h.eng.Now() + 100*sim.Millisecond)
+
+	if got := h.ctl.ServingAP(client); got != 2 {
+		t.Fatalf("serving AP = %d, want 2", got)
+	}
+	if len(h.aps[0].stops) == 0 {
+		t.Error("old AP never received stop")
+	}
+	if len(h.aps[2].starts) == 0 {
+		t.Error("new AP never received start")
+	}
+	if h.ctl.Stats.SwitchesDone != 1 {
+		t.Errorf("switches done = %d", h.ctl.Stats.SwitchesDone)
+	}
+	rec := h.ctl.History[0]
+	if rec.From != 0 || rec.To != 2 || rec.Duration <= 0 {
+		t.Errorf("switch record = %+v", rec)
+	}
+}
+
+func TestHysteresisBlocksFlapping(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hysteresis = 500 * sim.Millisecond
+	h := newCtlHarness(t, 2, cfg)
+	client := packet.ClientMAC(1)
+	h.ctl.RegisterClient(client, packet.ClientIP(1), 0)
+
+	// Flip-flop the better AP every few ms for 300 ms.
+	for i := 0; i < 30; i++ {
+		better := i % 2
+		h.feedCSI(client, better, 25)
+		h.feedCSI(client, 1-better, 5)
+		h.eng.RunUntil(h.eng.Now() + 10*sim.Millisecond)
+	}
+	if h.ctl.Stats.SwitchesDone > 1 {
+		t.Errorf("hysteresis allowed %d switches in 300 ms", h.ctl.Stats.SwitchesDone)
+	}
+}
+
+func TestSingleOutstandingSwitch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hysteresis = 0
+	h := newCtlHarness(t, 3, cfg)
+	// AP0 never acks: its starts go to an AP that does, but we silence the
+	// target AP too to keep the op in flight.
+	h.aps[0].ackStop = false
+	client := packet.ClientMAC(1)
+	h.ctl.RegisterClient(client, packet.ClientIP(1), 0)
+
+	for i := 0; i < 10; i++ {
+		h.feedCSI(client, 1, 20)
+		h.feedCSI(client, 2, 25)
+		h.eng.RunUntil(h.eng.Now() + 2*sim.Millisecond)
+	}
+	if h.ctl.Stats.SwitchesStarted != 1 {
+		t.Errorf("switches started = %d, want 1 (single outstanding)", h.ctl.Stats.SwitchesStarted)
+	}
+}
+
+func TestStopRetransmitOnTimeout(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hysteresis = 0
+	h := newCtlHarness(t, 2, cfg)
+	h.aps[0].ackStop = false // black-hole the switch
+	client := packet.ClientMAC(1)
+	h.ctl.RegisterClient(client, packet.ClientIP(1), 0)
+
+	// Several reports so AP1's window passes the MinSamples gate.
+	for i := 0; i < 4; i++ {
+		h.feedCSI(client, 1, 25)
+		h.feedCSI(client, 0, 5)
+		h.eng.RunUntil(h.eng.Now() + sim.Millisecond)
+	}
+	h.eng.RunUntil(200 * sim.Millisecond)
+
+	// 30 ms timeout ⇒ roughly 6 retransmissions in 200 ms.
+	if h.ctl.Stats.StopRetransmits < 3 {
+		t.Errorf("stop retransmits = %d, want several", h.ctl.Stats.StopRetransmits)
+	}
+	if got := len(h.aps[0].stops); got < 4 {
+		t.Errorf("AP0 saw %d stops", got)
+	}
+	if h.ctl.ServingAP(client) != 0 {
+		t.Error("switch completed without an ack")
+	}
+}
+
+func TestSwitchAckIgnoredWhenStale(t *testing.T) {
+	h := newCtlHarness(t, 2, DefaultConfig())
+	client := packet.ClientMAC(1)
+	h.ctl.RegisterClient(client, packet.ClientIP(1), 0)
+	// Unsolicited ack with a bogus switch ID must be ignored.
+	_ = h.bh.Send(packet.APIP(1), packet.ControllerIP,
+		&packet.SwitchAck{Client: client, AP: packet.APIP(1), SwitchID: 999})
+	h.eng.Run()
+	if h.ctl.ServingAP(client) != 0 || h.ctl.Stats.SwitchesDone != 0 {
+		t.Error("stale ack mutated switch state")
+	}
+}
+
+func TestDownlinkFanout(t *testing.T) {
+	h := newCtlHarness(t, 4, DefaultConfig())
+	client := packet.ClientMAC(1)
+	h.ctl.RegisterClient(client, packet.ClientIP(1), 0)
+
+	// Only APs 0 and 1 have heard the client recently.
+	h.feedCSI(client, 0, 15)
+	h.feedCSI(client, 1, 18)
+	h.eng.RunUntil(5 * sim.Millisecond)
+
+	p := &packet.Packet{ClientMAC: client, Bytes: 1500, SrcIP: packet.IPv4Addr{1, 2, 3, 4}}
+	if err := h.ctl.SendDownlink(p); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.Run()
+
+	if len(h.aps[0].downs) != 1 || len(h.aps[1].downs) != 1 {
+		t.Error("recently-heard APs did not receive the packet")
+	}
+	if len(h.aps[3].downs) != 0 {
+		t.Error("never-heard AP received a copy")
+	}
+	// Indices allocate sequentially from 0.
+	if h.aps[0].downs[0].Pkt.Index != 0 {
+		t.Errorf("first index = %d", h.aps[0].downs[0].Pkt.Index)
+	}
+	p2 := &packet.Packet{ClientMAC: client, Bytes: 1500}
+	_ = h.ctl.SendDownlink(p2)
+	h.eng.Run()
+	if h.aps[0].downs[1].Pkt.Index != 1 {
+		t.Errorf("second index = %d", h.aps[0].downs[1].Pkt.Index)
+	}
+}
+
+func TestDownlinkFanoutFallbackAll(t *testing.T) {
+	h := newCtlHarness(t, 3, DefaultConfig())
+	client := packet.ClientMAC(1)
+	h.ctl.RegisterClient(client, packet.ClientIP(1), 0)
+	// No CSI at all: every AP gets a copy (bootstrap).
+	_ = h.ctl.SendDownlink(&packet.Packet{ClientMAC: client, Bytes: 100})
+	h.eng.Run()
+	for i, ap := range h.aps {
+		if len(ap.downs) != 1 {
+			t.Errorf("AP%d got %d copies during bootstrap", i, len(ap.downs))
+		}
+	}
+}
+
+func TestDownlinkUnknownClient(t *testing.T) {
+	h := newCtlHarness(t, 1, DefaultConfig())
+	if err := h.ctl.SendDownlink(&packet.Packet{ClientMAC: packet.ClientMAC(9)}); err == nil {
+		t.Error("unknown client accepted")
+	}
+}
+
+func TestUplinkDedup(t *testing.T) {
+	h := newCtlHarness(t, 2, DefaultConfig())
+	client := packet.ClientMAC(1)
+	h.ctl.RegisterClient(client, packet.ClientIP(1), 0)
+	var delivered []*packet.Packet
+	h.ctl.DeliverUplink = func(p *packet.Packet, _ sim.Time) { delivered = append(delivered, p) }
+
+	mk := func(ipid uint16) *packet.Packet {
+		return &packet.Packet{
+			ClientMAC: client, SrcIP: packet.ClientIP(1), IPID: ipid, Uplink: true, Bytes: 200,
+		}
+	}
+	// Same packet heard by both APs; a second distinct packet by one.
+	_ = h.bh.Send(packet.APIP(0), packet.ControllerIP, &packet.UpData{APSrc: packet.APIP(0), Pkt: mk(7)})
+	_ = h.bh.Send(packet.APIP(1), packet.ControllerIP, &packet.UpData{APSrc: packet.APIP(1), Pkt: mk(7)})
+	_ = h.bh.Send(packet.APIP(0), packet.ControllerIP, &packet.UpData{APSrc: packet.APIP(0), Pkt: mk(8)})
+	h.eng.Run()
+
+	if len(delivered) != 2 {
+		t.Fatalf("delivered %d packets, want 2", len(delivered))
+	}
+	uniq, dup := h.ctl.ClientUplinkCounts(client)
+	if uniq != 2 || dup != 1 {
+		t.Errorf("counts = %d unique, %d dup", uniq, dup)
+	}
+}
+
+func TestUplinkDedupEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DedupCapacity = 4
+	h := newCtlHarness(t, 1, cfg)
+	client := packet.ClientMAC(1)
+	h.ctl.RegisterClient(client, packet.ClientIP(1), 0)
+	n := 0
+	h.ctl.DeliverUplink = func(*packet.Packet, sim.Time) { n++ }
+	for i := 0; i < 10; i++ {
+		p := &packet.Packet{ClientMAC: client, SrcIP: packet.ClientIP(1), IPID: uint16(i)}
+		_ = h.bh.Send(packet.APIP(0), packet.ControllerIP, &packet.UpData{APSrc: packet.APIP(0), Pkt: p})
+	}
+	h.eng.Run()
+	// Key 0 was evicted after 4 more; replaying it is "new" again.
+	p := &packet.Packet{ClientMAC: client, SrcIP: packet.ClientIP(1), IPID: 0}
+	_ = h.bh.Send(packet.APIP(0), packet.ControllerIP, &packet.UpData{APSrc: packet.APIP(0), Pkt: p})
+	h.eng.Run()
+	if n != 11 {
+		t.Errorf("delivered %d, want 11 (bounded memory re-admits evicted keys)", n)
+	}
+}
+
+func TestAssocRegistersClient(t *testing.T) {
+	h := newCtlHarness(t, 2, DefaultConfig())
+	client := packet.ClientMAC(3)
+	_ = h.bh.Send(packet.APIP(1), packet.ControllerIP,
+		&packet.AssocSync{Client: client, ClientIP: packet.ClientIP(3), AID: 1, Authorized: true})
+	h.eng.Run()
+	if h.ctl.ServingAP(client) != 1 {
+		t.Errorf("assoc-registered serving AP = %d, want 1", h.ctl.ServingAP(client))
+	}
+}
+
+func TestMedianESNRAccessor(t *testing.T) {
+	h := newCtlHarness(t, 2, DefaultConfig())
+	client := packet.ClientMAC(1)
+	h.ctl.RegisterClient(client, packet.ClientIP(1), 0)
+	if _, ok := h.ctl.MedianESNR(client, 0); ok {
+		t.Error("median reported before any CSI")
+	}
+	h.feedCSI(client, 0, 17)
+	h.eng.Run()
+	med, ok := h.ctl.MedianESNR(client, 0)
+	if !ok || med < 15 || med > 19 {
+		t.Errorf("median = %v, %v (fed 17 dB flat)", med, ok)
+	}
+	if _, ok := h.ctl.MedianESNR(packet.ClientMAC(9), 0); ok {
+		t.Error("median for unknown client")
+	}
+}
+
+// Property: the window median matches a sort-based reference for random
+// sample sets (upper median at even counts, like the paper's e_{L/2}).
+func TestWindowMedianMatchesReference(t *testing.T) {
+	rnd := sim.NewRNG(77).Stream("median")
+	for trial := 0; trial < 200; trial++ {
+		w := newWindow(sim.Second)
+		n := 1 + rnd.IntN(40)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rnd.Float64()*40 - 10
+			w.push(sim.Time(i)*sim.Millisecond, vals[i])
+		}
+		got, ok := w.median(sim.Time(n) * sim.Millisecond)
+		if !ok {
+			t.Fatal("median missing")
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		if want := sorted[n/2]; got != want {
+			t.Fatalf("median = %v, want %v (n=%d)", got, want, n)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Package controller implements the WGTT controller (§3): per-(client, AP)
+// sliding windows of ESNR readings computed from forwarded CSI, the
+// maximal-median AP selection rule, the stop/start/ack switching state
+// machine with its 30 ms retransmission timeout and single-outstanding-
+// switch constraint, downlink fan-out into every nearby AP's cyclic queue,
+// and uplink de-duplication keyed by (source IP, IP ID).
+package controller
+
+import (
+	"sort"
+
+	"wgtt/internal/sim"
+)
+
+// esnrWindow is a time-bounded deque of ESNR readings for one client-AP
+// link: the short-term history E(a) of §3.1.1.
+type esnrWindow struct {
+	at   []sim.Time
+	val  []float64
+	span sim.Time
+}
+
+func newWindow(span sim.Time) *esnrWindow { return &esnrWindow{span: span} }
+
+// push appends a reading and evicts everything older than the span.
+func (w *esnrWindow) push(at sim.Time, esnr float64) {
+	w.at = append(w.at, at)
+	w.val = append(w.val, esnr)
+	w.evict(at)
+}
+
+func (w *esnrWindow) evict(now sim.Time) {
+	cut := 0
+	for cut < len(w.at) && w.at[cut] < now-w.span {
+		cut++
+	}
+	if cut > 0 {
+		w.at = append(w.at[:0], w.at[cut:]...)
+		w.val = append(w.val[:0], w.val[cut:]...)
+	}
+}
+
+// median returns the median ESNR of the in-window readings and whether the
+// window holds any samples as of now.
+func (w *esnrWindow) median(now sim.Time) (float64, bool) {
+	w.evict(now)
+	n := len(w.val)
+	if n == 0 {
+		return 0, false
+	}
+	scratch := make([]float64, n)
+	copy(scratch, w.val)
+	sort.Float64s(scratch)
+	// The paper indexes the sorted sequence at L/2; for even n this is the
+	// upper median, which we reproduce exactly.
+	return scratch[n/2], true
+}
+
+// lastHeard returns the time of the most recent reading (0, false if none).
+func (w *esnrWindow) lastHeard() (sim.Time, bool) {
+	if len(w.at) == 0 {
+		return 0, false
+	}
+	return w.at[len(w.at)-1], true
+}
+
+// size returns the number of buffered readings.
+func (w *esnrWindow) size() int { return len(w.val) }

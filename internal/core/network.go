@@ -1,0 +1,449 @@
+package core
+
+import (
+	"fmt"
+
+	"wgtt/internal/ap"
+	"wgtt/internal/backhaul"
+	"wgtt/internal/baseline"
+	"wgtt/internal/client"
+	"wgtt/internal/controller"
+	"wgtt/internal/csi"
+	"wgtt/internal/mac"
+	"wgtt/internal/mobility"
+	"wgtt/internal/packet"
+	"wgtt/internal/radio"
+	"wgtt/internal/sim"
+	"wgtt/internal/trace"
+)
+
+// SharedBSSID is the single BSSID every WGTT AP presents (§4.3).
+var SharedBSSID = packet.MACAddr{0x02, 0xb5, 0x51, 0xd0, 0x00, 0x01}
+
+// Network is a fully assembled scenario ready to run.
+type Network struct {
+	Scenario Scenario
+
+	Eng     *sim.Engine
+	RNG     *sim.RNG
+	Channel *radio.Channel
+	// Medium is the primary wireless channel; in multi-channel scenarios
+	// (Scenario.Channels > 1) Media holds all of them and Medium aliases
+	// Media[0].
+	Medium *mac.Medium
+	Media  []*mac.Medium
+	Bh     *backhaul.Switch
+
+	// OnSwitch observes completed WGTT switches (chained after the
+	// network's own multi-channel retune handling).
+	OnSwitch func(rec controller.SwitchRecord)
+
+	apChannel []int
+
+	APs        []*ap.AP
+	APPosition []mobility.Point
+	Clients    []*client.Client
+
+	// WGTT mode.
+	Ctl *controller.Controller
+	// Baseline mode.
+	Base    *baseline.Network
+	Roamers []*baseline.Roamer
+
+	baseIdx []uint16 // per-client baseline downlink index counters
+
+	downRx map[int][]func(p *packet.Packet, at sim.Time)
+	upRx   []func(p *packet.Packet, at sim.Time)
+
+	clientByMAC map[packet.MACAddr]int
+	nextFlow    uint32
+}
+
+// Build assembles a scenario into a Network.
+func Build(s Scenario) (*Network, error) {
+	if len(s.Clients) == 0 {
+		return nil, fmt.Errorf("core: scenario has no clients")
+	}
+	nCh := s.Channels
+	if nCh < 1 {
+		nCh = 1
+	}
+	if nCh > 1 && s.Mode != ModeWGTT {
+		return nil, fmt.Errorf("core: multi-channel deployments are only modeled for WGTT")
+	}
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(s.Seed)
+
+	params := radio.DefaultParams()
+	if s.Radio != nil {
+		params = *s.Radio
+	}
+	ch := radio.NewChannel(params, rng)
+	var media []*mac.Medium
+	for c := 0; c < nCh; c++ {
+		media = append(media, mac.NewMedium(eng, ch, rng.Stream(fmt.Sprintf("mac/medium/%d", c))))
+	}
+	medium := media[0]
+	bh := backhaul.NewSwitch(eng, s.backhaulLatency())
+	if s.ControlLossRate > 0 {
+		bh.Drop = backhaul.DropTypes(s.ControlLossRate, rng.Stream("backhaul/controlloss"),
+			packet.MsgStop, packet.MsgStart, packet.MsgSwitchAck)
+	}
+
+	n := &Network{
+		Scenario:    s,
+		Eng:         eng,
+		RNG:         rng,
+		Channel:     ch,
+		Medium:      medium,
+		Media:       media,
+		Bh:          bh,
+		downRx:      make(map[int][]func(*packet.Packet, sim.Time)),
+		clientByMAC: make(map[packet.MACAddr]int),
+	}
+
+	// AP positions (possibly a subset of the testbed).
+	all := s.APPositions
+	if all == nil {
+		all = mobility.DefaultAPPositions()
+	}
+	subset := s.APSubset
+	if subset == nil {
+		subset = make([]int, len(all))
+		for i := range subset {
+			subset[i] = i
+		}
+	}
+	for _, idx := range subset {
+		if idx < 0 || idx >= len(all) {
+			return nil, fmt.Errorf("core: AP subset index %d out of range", idx)
+		}
+		n.APPosition = append(n.APPosition, all[idx])
+	}
+
+	// Disturbers: with multiple clients, every client scatters the others'
+	// links (§5.2.2's dynamic multipath), unless disabled.
+	if defaultBool(s.Disturbers, true) && len(s.Clients) > 1 {
+		for _, cs := range s.Clients {
+			ch.AddDisturber(cs.Trace, mobility.MPH(cs.SpeedMPH))
+		}
+	}
+
+	wgtt := s.Mode == ModeWGTT
+
+	// Build APs.
+	var infos []controller.APInfo
+	var peerIPs []packet.IPv4Addr
+	for i, pos := range n.APPosition {
+		bssid := SharedBSSID
+		if !wgtt {
+			bssid = packet.APMAC(i) // baseline: each AP is its own BSS
+		}
+		cfg := ap.DefaultConfig(i, bssid)
+		cfg.BAForwarding = wgtt && defaultBool(s.BAForwarding, true)
+		cfg.UplinkForwarding = true
+		cfg.ForwardOnlyWhenServing = wgtt && !defaultBool(s.UplinkDiversity, true)
+		if s.StopProcessing > 0 {
+			cfg.StopProcessing = s.StopProcessing
+		}
+		if s.StartProcessing > 0 {
+			cfg.StartProcessing = s.StartProcessing
+		}
+		var antenna radio.Antenna = radio.NewLairdGD24BP()
+		if s.OmniAPs {
+			// Small-cell omni variant (§4.2): modest gain in every
+			// direction instead of the parabolic main lobe.
+			antenna = radio.Omni{PeakDBi: 5}
+		}
+		ep := &radio.Endpoint{
+			Name:         cfg.Name,
+			Trace:        mobility.Stationary{At: pos},
+			Antenna:      antenna,
+			BoresightRad: apBoresight,
+			TxPowerDBm:   apTxPowerDBm,
+			ExtraLossDB:  apFixedLossDB,
+		}
+		if err := ch.AddEndpoint(ep); err != nil {
+			return nil, err
+		}
+		apCh := i % nCh
+		n.apChannel = append(n.apChannel, apCh)
+		var aliases []packet.MACAddr
+		if wgtt {
+			aliases = []packet.MACAddr{SharedBSSID}
+		}
+		st := mac.NewStation(media[apCh], mac.StationConfig{
+			Addr:        cfg.MAC,
+			Aliases:     aliases,
+			Endpoint:    ep,
+			Promiscuous: wgtt, // monitor-mode interface (§3.2.1)
+		})
+		a := ap.New(cfg, eng, bh, st, packet.ControllerIP, rng.Stream("ap/"+cfg.Name))
+		n.APs = append(n.APs, a)
+		infos = append(infos, controller.APInfo{ID: i, IP: cfg.IP, MAC: cfg.MAC})
+		peerIPs = append(peerIPs, cfg.IP)
+	}
+	for i, a := range n.APs {
+		peers := make([]packet.IPv4Addr, 0, len(peerIPs)-1)
+		for j, ip := range peerIPs {
+			if j != i {
+				peers = append(peers, ip)
+			}
+		}
+		a.SetPeers(peers)
+	}
+
+	// Wired side.
+	if wgtt {
+		ctlCfg := controller.DefaultConfig()
+		if s.Controller != nil {
+			ctlCfg = *s.Controller
+		}
+		n.Ctl = controller.New(ctlCfg, eng, bh, infos)
+		n.Ctl.DeliverUplink = n.dispatchUplink
+	} else {
+		n.Base = baseline.NewNetwork(baseline.DefaultNetworkConfig(), eng, bh, n.APs)
+		n.Base.DeliverUplink = n.dispatchUplink
+		n.Base.StartBeacons()
+	}
+
+	// Clients.
+	n.baseIdx = make([]uint16, len(s.Clients))
+	var roamAddrs []baseline.APAddr
+	for i := range n.APs {
+		roamAddrs = append(roamAddrs, baseline.APAddr{ID: i, MAC: packet.APMAC(i)})
+	}
+	for i, spec := range s.Clients {
+		name := fmt.Sprintf("car%d", i+1)
+		ep := &radio.Endpoint{
+			Name:        name,
+			Trace:       spec.Trace,
+			TxPowerDBm:  clientTxPowerDBm,
+			SpeedHintMS: mobility.MPH(spec.SpeedMPH),
+		}
+		if err := ch.AddEndpoint(ep); err != nil {
+			return nil, err
+		}
+		start := nearestAP(n.APPosition, spec.Trace.Position(0))
+		dest := SharedBSSID
+		if !wgtt {
+			dest = packet.APMAC(start)
+		}
+		ccfg := client.DefaultConfig(i+1, dest)
+		st := mac.NewStation(media[n.apChannel[start]], mac.StationConfig{
+			Addr:     ccfg.MAC,
+			Endpoint: ep,
+		})
+		cl := client.New(ccfg, eng, st)
+		idx := i
+		cl.OnDownlink = func(p *packet.Packet, at sim.Time) {
+			for _, fn := range n.downRx[idx] {
+				fn(p, at)
+			}
+		}
+		n.Clients = append(n.Clients, cl)
+		n.clientByMAC[ccfg.MAC] = i
+		switch {
+		case s.KeepaliveInterval < 0:
+			// keepalives disabled
+		case s.KeepaliveInterval == 0:
+			cl.StartKeepalive(5 * sim.Millisecond)
+		default:
+			cl.StartKeepalive(s.KeepaliveInterval)
+		}
+
+		// Association bootstrap: the §4.3 replication, performed directly.
+		if wgtt {
+			for apID, a := range n.APs {
+				a.Associate(ccfg.MAC, ccfg.IP, apID == start)
+			}
+			n.Ctl.RegisterClient(ccfg.MAC, ccfg.IP, start)
+		} else {
+			n.Base.Associate(ccfg.MAC, ccfg.IP, start)
+			n.Roamers = append(n.Roamers,
+				baseline.NewRoamer(baseline.DefaultRoamerConfig(), eng, cl, n.Base, roamAddrs, start))
+		}
+	}
+
+	// Multi-channel plumbing: follow the serving AP's channel on every
+	// switch (channel-switch announcement, ~1 ms), and run the off-channel
+	// probe plane that keeps cross-channel CSI flowing (see DESIGN.md §5).
+	if wgtt {
+		n.Ctl.OnSwitch = func(rec controller.SwitchRecord) {
+			if nCh > 1 {
+				n.retuneClient(rec)
+			}
+			if n.OnSwitch != nil {
+				n.OnSwitch(rec)
+			}
+		}
+		if nCh > 1 {
+			n.startProbePlane()
+		}
+	}
+
+	return n, nil
+}
+
+// retuneClient moves a client's radio to its new serving AP's channel.
+func (n *Network) retuneClient(rec controller.SwitchRecord) {
+	id, ok := n.clientByMAC[rec.Client]
+	if !ok {
+		return
+	}
+	target := n.Media[n.apChannel[rec.To]]
+	st := n.Clients[id].Station()
+	n.Eng.After(sim.Millisecond, func() { st.Retune(target) })
+}
+
+// startProbePlane compresses the client's per-channel probe sweep: every
+// 5 ms each AP (whatever its channel) takes one CSI measurement of each
+// client and reports it, so the controller can compare APs across channels
+// (a challenger needs two in-window samples to be eligible). The sweep's
+// airtime cost is negligible and not modeled.
+func (n *Network) startProbePlane() {
+	n.Every(5*sim.Millisecond, func(at sim.Time) {
+		for ci, cl := range n.Clients {
+			cep := n.Channel.Endpoint(fmt.Sprintf("car%d", ci+1))
+			for _, a := range n.APs {
+				link, err := n.Channel.Link(a.Config().Name, cep.Name)
+				if err != nil {
+					continue
+				}
+				snr := link.SNRSnapshot(at, cep)
+				rep := &packet.CSIReport{Client: cl.Config().MAC, AP: a.Config().IP, At: int64(at)}
+				rep.QuantizeSNR(snr)
+				_ = n.Bh.Send(a.Config().IP, packet.ControllerIP, rep)
+			}
+		}
+	})
+}
+
+// AttachRecorder streams a tcpdump-style event log of the run: every
+// confirmed delivery, every data frame on the air, every completed switch,
+// and every de-duplicated uplink arrival. Existing evaluation hooks are
+// chained, not replaced. Call rec.Flush() after Run.
+func (n *Network) AttachRecorder(rec *trace.Recorder) {
+	for apID, a := range n.APs {
+		a := a
+		name := a.Config().Name
+		prevDeliver := a.OnDeliver
+		a.OnDeliver = func(p *packet.Packet, at sim.Time) {
+			rec.Log(trace.Event{
+				AtNS: trace.At(at), Kind: trace.KindDeliver, Node: name,
+				Client: p.ClientMAC.String(), Bytes: p.Bytes, Seq: p.Seq,
+				Index: p.Index, FlowID: p.FlowID,
+			})
+			if prevDeliver != nil {
+				prevDeliver(p, at)
+			}
+		}
+		prevTx := a.OnFrameTx
+		a.OnFrameTx = func(rate float64, mpdus int, at sim.Time) {
+			rec.Log(trace.Event{
+				AtNS: trace.At(at), Kind: trace.KindFrameTx, Node: name,
+				RateMbps: rate, MPDUs: mpdus,
+			})
+			if prevTx != nil {
+				prevTx(rate, mpdus, at)
+			}
+		}
+		_ = apID
+	}
+	if n.Ctl != nil {
+		prev := n.OnSwitch
+		n.OnSwitch = func(recd controller.SwitchRecord) {
+			rec.Log(trace.Event{
+				AtNS: trace.At(recd.At), Kind: trace.KindSwitch, Node: "controller",
+				Client: recd.Client.String(), FromAP: recd.From, ToAP: recd.To,
+				DurNS: int64(recd.Duration),
+			})
+			if prev != nil {
+				prev(recd)
+			}
+		}
+	}
+	n.onServerUplink(func(p *packet.Packet, at sim.Time) {
+		rec.Log(trace.Event{
+			AtNS: trace.At(at), Kind: trace.KindUplink, Node: "controller",
+			Client: p.ClientMAC.String(), Bytes: p.Bytes, Seq: p.Seq, FlowID: p.FlowID,
+		})
+	})
+}
+
+// dispatchUplink fans a de-duplicated uplink packet to server-side flows.
+func (n *Network) dispatchUplink(p *packet.Packet, at sim.Time) {
+	for _, fn := range n.upRx {
+		fn(p, at)
+	}
+}
+
+// SendDownlink injects one downlink packet for the given client.
+func (n *Network) SendDownlink(clientID int, p *packet.Packet) error {
+	p.ClientMAC = n.Clients[clientID].Config().MAC
+	if p.DstIP.IsZero() {
+		p.DstIP = n.Clients[clientID].Config().IP
+	}
+	if n.Ctl != nil {
+		return n.Ctl.SendDownlink(p)
+	}
+	return n.Base.SendDownlink(p, &n.baseIdx[clientID])
+}
+
+// ServingAP returns which AP currently serves the client.
+func (n *Network) ServingAP(clientID int) int {
+	mac := n.Clients[clientID].Config().MAC
+	if n.Ctl != nil {
+		return n.Ctl.ServingAP(mac)
+	}
+	return n.Base.CurrentAP(mac)
+}
+
+// BestESNRAP returns the ground-truth optimal AP — the one with the highest
+// instantaneous uplink ESNR to the client — and that ESNR (Table 2's oracle).
+func (n *Network) BestESNRAP(clientID int, at sim.Time) (int, float64) {
+	cl := n.Clients[clientID]
+	cep := n.Channel.Endpoint(fmt.Sprintf("car%d", clientID+1))
+	best, bestESNR := -1, 0.0
+	for i := range n.APs {
+		link, err := n.Channel.Link(n.APs[i].Config().Name, cep.Name)
+		if err != nil {
+			continue
+		}
+		e := csi.ESNRdB(link.SNRSnapshot(at, cep), csi.DefaultESNRModulation)
+		if best == -1 || e > bestESNR {
+			best, bestESNR = i, e
+		}
+	}
+	_ = cl
+	return best, bestESNR
+}
+
+// ClientESNR returns the instantaneous uplink ESNR from the client to one AP.
+func (n *Network) ClientESNR(clientID, apID int, at sim.Time) float64 {
+	cep := n.Channel.Endpoint(fmt.Sprintf("car%d", clientID+1))
+	link, err := n.Channel.Link(n.APs[apID].Config().Name, cep.Name)
+	if err != nil {
+		return 0
+	}
+	return csi.ESNRdB(link.SNRSnapshot(at, cep), csi.DefaultESNRModulation)
+}
+
+// Run advances the simulation to the scenario duration.
+func (n *Network) Run() { n.Eng.RunUntil(n.Scenario.Duration) }
+
+// RunUntil advances to an arbitrary time.
+func (n *Network) RunUntil(t sim.Time) { n.Eng.RunUntil(t) }
+
+// Every schedules fn at a fixed period until the scenario ends (sampling
+// hook for timelines).
+func (n *Network) Every(period sim.Time, fn func(at sim.Time)) {
+	var tick func()
+	tick = func() {
+		fn(n.Eng.Now())
+		if n.Eng.Now()+period <= n.Scenario.Duration {
+			n.Eng.After(period, tick)
+		}
+	}
+	n.Eng.After(period, tick)
+}

@@ -1,0 +1,172 @@
+// Package core assembles the full WGTT system — radio channel, 802.11 MAC,
+// APs, controller, backhaul, clients, and transport flows — into runnable
+// scenarios, and likewise assembles the Enhanced 802.11r baseline on the
+// same substrate so the two are compared apples-to-apples, as in §5.
+package core
+
+import (
+	"math"
+
+	"wgtt/internal/controller"
+	"wgtt/internal/mobility"
+	"wgtt/internal/radio"
+	"wgtt/internal/sim"
+)
+
+// Mode selects the system under test.
+type Mode int
+
+// The two systems of the evaluation.
+const (
+	// ModeWGTT runs the paper's system: controller-driven millisecond
+	// switching with cyclic-queue fanout.
+	ModeWGTT Mode = iota
+	// ModeBaseline runs Enhanced 802.11r (§5.1).
+	ModeBaseline
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeBaseline {
+		return "enhanced-802.11r"
+	}
+	return "wgtt"
+}
+
+// ClientSpec describes one mobile client.
+type ClientSpec struct {
+	Trace mobility.Trace
+	// SpeedMPH is the client's design speed (sets the fading Doppler).
+	SpeedMPH float64
+}
+
+// Scenario is a complete experiment description.
+type Scenario struct {
+	Mode Mode
+	Seed uint64
+	// Duration of the run.
+	Duration sim.Time
+
+	// APPositions along the road; nil uses the testbed layout (Fig. 9).
+	APPositions []mobility.Point
+	// APSubset activates only these AP indices (Fig. 23's dense/sparse
+	// segments); nil activates all.
+	APSubset []int
+
+	Clients []ClientSpec
+
+	// Radio overrides the default channel model when non-nil.
+	Radio *radio.Params
+	// Controller overrides the WGTT controller config when non-nil.
+	Controller *controller.Config
+	// BackhaulLatency is the one-way Ethernet latency (default 200 µs).
+	BackhaulLatency sim.Time
+
+	// BAForwarding disables §3.2.1 when explicitly set false (ablation).
+	BAForwarding *bool
+	// UplinkDiversity, when explicitly false, makes only the serving WGTT
+	// AP forward uplink packets (ablation of the §3.2.2 multi-AP path).
+	UplinkDiversity *bool
+	// Disturbers, when explicitly false, disables inter-vehicle scattering
+	// even with multiple clients.
+	Disturbers *bool
+	// StopProcessing / StartProcessing override the AP control-plane
+	// processing model when > 0 (Table 1 calibration).
+	StopProcessing  sim.Time
+	StartProcessing sim.Time
+	// KeepaliveInterval paces the clients' null-data CSI probes
+	// (default 10 ms; < 0 disables them).
+	KeepaliveInterval sim.Time
+
+	// OmniAPs replaces the parabolic antennas with small-cell
+	// omnidirectional ones (the §4.2 variant the paper says the
+	// hardware-agnostic design supports).
+	OmniAPs bool
+	// ControlLossRate drops WGTT control messages (stop/start/ack) on the
+	// backhaul with this probability — failure injection for the §3.1.2
+	// 30 ms retransmission path.
+	ControlLossRate float64
+	// Channels spreads the APs across this many non-interfering wireless
+	// channels, round-robin (§7's multi-channel discussion). 0 or 1 keeps
+	// the paper's single-channel deployment. Clients retune to the serving
+	// AP's channel on each switch, and APs can only overhear clients on
+	// their own channel — which is exactly the trade-off §7 predicts.
+	Channels int
+}
+
+// DriveScenario is a convenience builder: one client driving the full
+// testbed at speedMPH under the given mode.
+func DriveScenario(mode Mode, speedMPH float64, seed uint64) Scenario {
+	aps := mobility.DefaultAPPositions()
+	margin := 10.0
+	dur := mobility.TransitDuration(aps, speedMPH, margin) + 2*sim.Second
+	var tr mobility.Trace
+	if speedMPH <= 0 {
+		// Static client parked in AP2's cell (the paper's 0 mph point).
+		tr = mobility.Stationary{At: mobility.Point{X: aps[1].X, Y: mobility.LaneY}}
+		dur = 10 * sim.Second
+	} else {
+		tr = mobility.TransitDrive(aps, speedMPH, margin)
+	}
+	return Scenario{
+		Mode:     mode,
+		Seed:     seed,
+		Duration: dur,
+		Clients:  []ClientSpec{{Trace: tr, SpeedMPH: speedMPH}},
+	}
+}
+
+// MultiClientScenario builds an n-client pattern drive (Figs. 17–20).
+func MultiClientScenario(mode Mode, pattern mobility.Pattern, n int, speedMPH float64, seed uint64) Scenario {
+	aps := mobility.DefaultAPPositions()
+	margin := 10.0
+	traces := mobility.PatternTraces(pattern, n, aps, speedMPH, margin)
+	specs := make([]ClientSpec, n)
+	for i, tr := range traces {
+		specs[i] = ClientSpec{Trace: tr, SpeedMPH: speedMPH}
+	}
+	return Scenario{
+		Mode:     mode,
+		Seed:     seed,
+		Duration: mobility.TransitDuration(aps, speedMPH, margin) + 2*sim.Second,
+		Clients:  specs,
+	}
+}
+
+// apBoresight is the antenna orientation: straight across the road.
+const apBoresight = -math.Pi / 2
+
+// Default radio endpoint powers and losses (§4, calibrated in DESIGN.md).
+const (
+	apTxPowerDBm     = 17
+	clientTxPowerDBm = 15
+	apFixedLossDB    = 24 // splitter + cabling + window penetration
+)
+
+// nearestAP returns the index (within the active set) of the AP closest to
+// the client's position at time zero.
+func nearestAP(positions []mobility.Point, p mobility.Point) int {
+	best, bestD := 0, math.Inf(1)
+	for i, ap := range positions {
+		if d := ap.Distance(p); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// defaultBool returns *v or def when v is nil.
+func defaultBool(v *bool, def bool) bool {
+	if v == nil {
+		return def
+	}
+	return *v
+}
+
+// backhaulOrDefault applies the default Ethernet latency.
+func (s *Scenario) backhaulLatency() sim.Time {
+	if s.BackhaulLatency > 0 {
+		return s.BackhaulLatency
+	}
+	return 200 * sim.Microsecond
+}

@@ -1,0 +1,111 @@
+// Package csi models the channel state information pipeline of WGTT: each
+// AP's NIC measures per-subcarrier CSI on every uplink frame (the Atheros
+// CSI Tool reports all 56 OFDM subcarriers of an HT20 channel), encapsulates
+// it in a UDP report, and ships it to the controller, which computes
+// Effective SNR (Halperin et al.) — the link metric the AP selection
+// algorithm of §3.1.1 runs on.
+package csi
+
+import (
+	"fmt"
+	"math"
+
+	"wgtt/internal/phy"
+	"wgtt/internal/radio"
+	"wgtt/internal/sim"
+)
+
+// Subcarriers is the number of CSI-visible subcarriers (HT20).
+const Subcarriers = 56
+
+// Report is one CSI measurement: the per-subcarrier SNR an AP observed on
+// one uplink frame from a client. The AP forwards each Report to the
+// controller over the Ethernet backhaul.
+type Report struct {
+	Client string   // transmitting client
+	AP     string   // measuring AP
+	At     sim.Time // reception time
+	// SNRdB holds the per-subcarrier SNR in dB, Subcarriers entries.
+	SNRdB []float64
+}
+
+// Validate checks structural sanity of a report.
+func (r *Report) Validate() error {
+	if r.Client == "" || r.AP == "" {
+		return fmt.Errorf("csi: report missing endpoint names")
+	}
+	if len(r.SNRdB) != Subcarriers {
+		return fmt.Errorf("csi: report has %d subcarriers, want %d", len(r.SNRdB), Subcarriers)
+	}
+	for i, v := range r.SNRdB {
+		if math.IsNaN(v) {
+			return fmt.Errorf("csi: subcarrier %d is NaN", i)
+		}
+	}
+	return nil
+}
+
+// Measure samples the link at time t for a transmission from the client
+// endpoint and wraps it in a Report, as the AP NIC would on frame reception.
+func Measure(l *radio.Link, client *radio.Endpoint, ap string, t sim.Time) *Report {
+	return &Report{
+		Client: client.Name,
+		AP:     ap,
+		At:     t,
+		SNRdB:  l.SNRSnapshot(t, client),
+	}
+}
+
+// DefaultESNRModulation is the constellation the default ESNR metric is
+// computed against. 64-QAM's BER curve stays informative across the whole
+// 0–30 dB range the testbed links span; lower-order curves underflow (and
+// the metric saturates) above ~20 dB.
+const DefaultESNRModulation = phy.QAM64
+
+// ESNRdB computes the Effective SNR of per-subcarrier SNRs for a given
+// modulation: average the per-subcarrier BERs, then invert the AWGN BER
+// curve to find the flat-channel SNR that would produce the same average.
+// Unlike mean SNR or RSSI, this correctly penalizes frequency-selective
+// fades that concentrate errors on a few subcarriers.
+func ESNRdB(snrDB []float64, m phy.Modulation) float64 {
+	if len(snrDB) == 0 {
+		return math.Inf(-1)
+	}
+	var sum float64
+	for _, s := range snrDB {
+		sum += m.BER(radio.DBToLinear(s))
+	}
+	mean := sum / float64(len(snrDB))
+	return radio.LinearToDB(m.InvBER(mean))
+}
+
+// ESNRdB returns the report's Effective SNR under the default modulation.
+func (r *Report) ESNRdB() float64 { return ESNRdB(r.SNRdB, DefaultESNRModulation) }
+
+// ESNRdBFor returns the report's Effective SNR under modulation m.
+func (r *Report) ESNRdBFor(m phy.Modulation) float64 { return ESNRdB(r.SNRdB, m) }
+
+// MeanSNRdB returns the arithmetic mean of the per-subcarrier SNRs in dB —
+// the naive metric ESNR improves upon.
+func (r *Report) MeanSNRdB() float64 {
+	if len(r.SNRdB) == 0 {
+		return math.Inf(-1)
+	}
+	var sum float64
+	for _, s := range r.SNRdB {
+		sum += s
+	}
+	return sum / float64(len(r.SNRdB))
+}
+
+// PredictPER predicts the loss probability of a frameBytes-long downlink
+// MPDU sent at MCS mcs, given this (reciprocal) channel measurement.
+func (r *Report) PredictPER(mcs phy.MCS, frameBytes int) float64 {
+	return phy.PER(mcs, r.ESNRdBFor(phy.Lookup(mcs).Modulation), frameBytes)
+}
+
+// PredictBestMCS returns the ESNR-directed best MCS for the measured
+// channel.
+func (r *Report) PredictBestMCS(frameBytes int, maxPER float64) phy.MCS {
+	return phy.BestMCS(r.ESNRdB(), frameBytes, maxPER)
+}

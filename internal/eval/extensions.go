@@ -1,0 +1,264 @@
+package eval
+
+import (
+	"fmt"
+
+	"wgtt/internal/core"
+	"wgtt/internal/mobility"
+	"wgtt/internal/sim"
+	"wgtt/internal/stats"
+)
+
+// These experiments go beyond the paper's evaluation into its §7 discussion
+// items: multi-channel deployments, the omnidirectional small-cell variant,
+// and robustness of the switching protocol to backhaul control loss.
+
+// ExtMultiChannelResult compares single- vs multi-channel deployments.
+type ExtMultiChannelResult struct {
+	Channels       []int
+	PerClientMbps  []float64 // downlink UDP per client
+	UplinkLoss     []float64 // mean in-coverage uplink loss
+	SwitchesPerSec []float64
+}
+
+// ExtMultiChannel measures §7's predicted trade-off with three clients at
+// 15 mph: spreading adjacent APs over three channels relieves co-channel
+// contention (downlink per-client throughput rises) but breaks cross-AP
+// overhearing, so uplink diversity — Fig. 18's benefit — degrades.
+func ExtMultiChannel(opt Options) (*ExtMultiChannelResult, error) {
+	res := &ExtMultiChannelResult{}
+	chans := []int{1, 3}
+	for _, c := range chans {
+		s := core.MultiClientScenario(core.ModeWGTT, mobility.Following, 3, 15, opt.Seed)
+		s.Channels = c
+		n, err := core.Build(s)
+		if err != nil {
+			return nil, err
+		}
+		var downs []*core.DownUDP
+		var ups []*core.UpUDP
+		for ci := 0; ci < 3; ci++ {
+			d := n.AddDownlinkUDP(ci, 20, 1400)
+			d.Sender.Start()
+			downs = append(downs, d)
+			u := n.AddUplinkUDP(ci, 2, 1000)
+			u.Receiver.Record = true
+			u.Sender.Start()
+			ups = append(ups, u)
+		}
+		n.Run()
+		var mbps float64
+		for _, d := range downs {
+			mbps += throughput(d.Receiver.Bytes, s.Duration)
+		}
+		var loss float64
+		for _, u := range ups {
+			loss += inCoverageLoss(u, 2, 1000, s.Duration)
+		}
+		res.Channels = append(res.Channels, c)
+		res.PerClientMbps = append(res.PerClientMbps, mbps/3)
+		res.UplinkLoss = append(res.UplinkLoss, loss/3)
+		res.SwitchesPerSec = append(res.SwitchesPerSec,
+			float64(len(n.Ctl.History))/s.Duration.Seconds())
+	}
+	return res, nil
+}
+
+// Render implements Result.
+func (r *ExtMultiChannelResult) Render() string {
+	t := &stats.Table{Header: []string{"channels", "per-client down (Mb/s)", "uplink loss", "switches/s"}}
+	for i := range r.Channels {
+		t.AddRow(fmt.Sprintf("%d", r.Channels[i]), stats.F(r.PerClientMbps[i]),
+			fmt.Sprintf("%.4f", r.UplinkLoss[i]), stats.F(r.SwitchesPerSec[i]))
+	}
+	return "Extension (§7): single vs multi-channel deployment, 3 clients, 15 mph\n" + t.String()
+}
+
+// ExtControlLossResult measures switching-protocol robustness.
+type ExtControlLossResult struct {
+	LossRate        []float64
+	SwitchesDone    []uint64
+	StopRetransmits []uint64
+	MeanSwitchMS    []float64
+	GoodputMbps     []float64
+}
+
+// ExtControlLoss injects backhaul loss on stop/start/ack messages and
+// verifies the 30 ms retransmission timeout (§3.1.2) keeps the system
+// functional: switches complete (more slowly) and goodput degrades
+// gracefully rather than collapsing.
+func ExtControlLoss(opt Options) (*ExtControlLossResult, error) {
+	rates := []float64{0, 0.2, 0.5}
+	if opt.Quick {
+		rates = []float64{0, 0.5}
+	}
+	res := &ExtControlLossResult{}
+	for _, lr := range rates {
+		s := core.DriveScenario(core.ModeWGTT, 15, opt.Seed)
+		s.ControlLossRate = lr
+		n, err := core.Build(s)
+		if err != nil {
+			return nil, err
+		}
+		flow := n.AddDownlinkUDP(0, offeredUDPMbps, 1400)
+		flow.Sender.Start()
+		n.Run()
+		c := &stats.CDF{}
+		for _, rec := range n.Ctl.History {
+			c.Add(rec.Duration.Milliseconds())
+		}
+		res.LossRate = append(res.LossRate, lr)
+		res.SwitchesDone = append(res.SwitchesDone, n.Ctl.Stats.SwitchesDone)
+		res.StopRetransmits = append(res.StopRetransmits, n.Ctl.Stats.StopRetransmits)
+		res.MeanSwitchMS = append(res.MeanSwitchMS, c.Mean())
+		res.GoodputMbps = append(res.GoodputMbps, throughput(flow.Receiver.Bytes, s.Duration))
+	}
+	return res, nil
+}
+
+// Render implements Result.
+func (r *ExtControlLossResult) Render() string {
+	t := &stats.Table{Header: []string{"ctl-loss", "switches", "stop-rtx", "mean-switch(ms)", "UDP Mb/s"}}
+	for i := range r.LossRate {
+		t.AddRow(fmt.Sprintf("%.0f%%", 100*r.LossRate[i]),
+			fmt.Sprintf("%d", r.SwitchesDone[i]),
+			fmt.Sprintf("%d", r.StopRetransmits[i]),
+			stats.F(r.MeanSwitchMS[i]), stats.F(r.GoodputMbps[i]))
+	}
+	return "Extension: switching-protocol robustness to control-packet loss\n" + t.String()
+}
+
+// ExtOmniResult compares antenna choices.
+type ExtOmniResult struct {
+	Antennas []string
+	TCPMbps  []float64
+	Switches []int
+}
+
+// ExtOmni swaps the parabolic antennas for small-cell omnis (§4.2's
+// hardware-agnostic claim) and re-runs the 15 mph TCP drive.
+func ExtOmni(opt Options) (*ExtOmniResult, error) {
+	res := &ExtOmniResult{}
+	for _, omni := range []bool{false, true} {
+		s := core.DriveScenario(core.ModeWGTT, 15, opt.Seed)
+		s.OmniAPs = omni
+		n, err := core.Build(s)
+		if err != nil {
+			return nil, err
+		}
+		flow := n.AddDownlinkTCP(0, 0, nil)
+		flow.Sender.Start()
+		n.Run()
+		name := "parabolic-21deg"
+		if omni {
+			name = "omni-5dBi"
+		}
+		res.Antennas = append(res.Antennas, name)
+		res.TCPMbps = append(res.TCPMbps, throughput(flow.Receiver.DeliveredBytes, s.Duration))
+		res.Switches = append(res.Switches, len(n.Ctl.History))
+	}
+	return res, nil
+}
+
+// Render implements Result.
+func (r *ExtOmniResult) Render() string {
+	t := &stats.Table{Header: []string{"antenna", "TCP Mb/s", "switches"}}
+	for i := range r.Antennas {
+		t.AddRow(r.Antennas[i], stats.F(r.TCPMbps[i]), fmt.Sprintf("%d", r.Switches[i]))
+	}
+	return "Extension (§4.2): AP antenna variants, 15 mph TCP\n" + t.String()
+}
+
+// inCoverageLoss computes a flow's mean per-second loss over the in-coverage
+// middle of the drive.
+func inCoverageLoss(u *core.UpUDP, rateMbps float64, pktBytes int, duration sim.Time) float64 {
+	bins := int(duration/sim.Second) + 1
+	perBin := make([]float64, bins)
+	for _, a := range u.Receiver.Arrivals {
+		if b := int(a.At / sim.Second); b < bins {
+			perBin[b]++
+		}
+	}
+	offered := rateMbps * 1e6 / 8 / float64(pktBytes)
+	var mean float64
+	cnt := 0
+	for b := 2; b < bins-3; b++ {
+		l := 1 - perBin[b]/offered
+		if l < 0 {
+			l = 0
+		}
+		mean += l
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return mean / float64(cnt)
+}
+
+// ExtScaleResult compares the 8-AP testbed with a 16-AP corridor.
+type ExtScaleResult struct {
+	Labels       []string
+	APs          []int
+	TCPMbps      []float64
+	SwitchesPerS []float64
+	CSIPerSecond []float64
+	CopiesPerPkt []float64
+}
+
+// ExtScale probes §7's "large area deployment" question: double the array
+// to 16 APs over a 120 m corridor and drive it at 25 mph. The interesting
+// outputs are whether per-drive throughput holds and what the controller
+// pays (CSI ingest rate, downlink fan-out copies per packet).
+func ExtScale(opt Options) (*ExtScaleResult, error) {
+	res := &ExtScaleResult{}
+	type layout struct {
+		label string
+		pos   []mobility.Point
+	}
+	layouts := []layout{
+		{"testbed-8", mobility.DefaultAPPositions()},
+		{"corridor-16", mobility.DenseArray(16, 5, 7.5)},
+	}
+	for _, l := range layouts {
+		s := core.Scenario{
+			Mode:        core.ModeWGTT,
+			Seed:        opt.Seed,
+			APPositions: l.pos,
+			Clients: []core.ClientSpec{{
+				Trace:    mobility.TransitDrive(l.pos, 25, 10),
+				SpeedMPH: 25,
+			}},
+			Duration: mobility.TransitDuration(l.pos, 25, 10) + 2*sim.Second,
+		}
+		n, err := core.Build(s)
+		if err != nil {
+			return nil, err
+		}
+		flow := n.AddDownlinkTCP(0, 0, nil)
+		flow.Sender.Start()
+		n.Run()
+		secs := s.Duration.Seconds()
+		res.Labels = append(res.Labels, l.label)
+		res.APs = append(res.APs, len(l.pos))
+		res.TCPMbps = append(res.TCPMbps, throughput(flow.Receiver.DeliveredBytes, s.Duration))
+		res.SwitchesPerS = append(res.SwitchesPerS, float64(len(n.Ctl.History))/secs)
+		res.CSIPerSecond = append(res.CSIPerSecond, float64(n.Ctl.Stats.CSIReports)/secs)
+		copies := 0.0
+		if n.Ctl.Stats.DownlinkSent > 0 {
+			copies = float64(n.Ctl.Stats.DownlinkCopies) / float64(n.Ctl.Stats.DownlinkSent)
+		}
+		res.CopiesPerPkt = append(res.CopiesPerPkt, copies)
+	}
+	return res, nil
+}
+
+// Render implements Result.
+func (r *ExtScaleResult) Render() string {
+	t := &stats.Table{Header: []string{"layout", "APs", "TCP Mb/s", "switches/s", "CSI/s", "copies/pkt"}}
+	for i := range r.Labels {
+		t.AddRow(r.Labels[i], fmt.Sprintf("%d", r.APs[i]), stats.F(r.TCPMbps[i]),
+			stats.F(r.SwitchesPerS[i]), stats.F(r.CSIPerSecond[i]), stats.F(r.CopiesPerPkt[i]))
+	}
+	return "Extension (§7): deployment scale-out at 25 mph TCP\n" + t.String()
+}

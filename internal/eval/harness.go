@@ -1,0 +1,94 @@
+// Package eval regenerates every table and figure of the paper's
+// evaluation (§2, §5): each experiment builds the scenario it needs, runs
+// it on the simulated substrate, and returns the rows or series the paper
+// reports, plus a rendered text form. See DESIGN.md's experiment index for
+// the mapping.
+package eval
+
+import (
+	"fmt"
+
+	"wgtt/internal/controller"
+	"wgtt/internal/core"
+	"wgtt/internal/sim"
+)
+
+// Options tunes experiment cost.
+type Options struct {
+	// Seed is the base scenario seed; related runs derive from it.
+	Seed uint64
+	// Quick trims sweeps (fewer points, shorter runs) for benchmarks and
+	// smoke tests; the full settings reproduce the paper's axes.
+	Quick bool
+}
+
+// DefaultOptions runs the full experiment.
+func DefaultOptions() Options { return Options{Seed: 2017} }
+
+// QuickOptions runs the trimmed variant.
+func QuickOptions() Options { return Options{Seed: 2017, Quick: true} }
+
+// Result is implemented by every experiment's output.
+type Result interface {
+	// Render returns the human-readable table/series.
+	Render() string
+}
+
+// throughput computes mean goodput in Mb/s over a duration.
+func throughput(bytes uint64, dur sim.Time) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / 1e6 / dur.Seconds()
+}
+
+// driveUDP runs one drive with a downlink CBR flow and returns goodput.
+func driveUDP(mode core.Mode, speedMPH, rateMbps float64, seed uint64) (float64, *core.Network, error) {
+	s := core.DriveScenario(mode, speedMPH, seed)
+	n, err := core.Build(s)
+	if err != nil {
+		return 0, nil, err
+	}
+	flow := n.AddDownlinkUDP(0, rateMbps, 1400)
+	flow.Sender.Start()
+	n.Run()
+	return throughput(flow.Receiver.Bytes, s.Duration), n, nil
+}
+
+// driveTCP runs one drive with a bulk downlink TCP flow and returns goodput.
+func driveTCP(mode core.Mode, speedMPH float64, seed uint64) (float64, *core.Network, error) {
+	s := core.DriveScenario(mode, speedMPH, seed)
+	n, err := core.Build(s)
+	if err != nil {
+		return 0, nil, err
+	}
+	flow := n.AddDownlinkTCP(0, 0, nil)
+	flow.Sender.Start()
+	n.Run()
+	return throughput(flow.Receiver.DeliveredBytes, s.Duration), n, nil
+}
+
+// fmtMode renders a mode for table headers.
+func fmtMode(m core.Mode) string {
+	if m == core.ModeWGTT {
+		return "WGTT"
+	}
+	return "Enh-802.11r"
+}
+
+// seriesString renders a float series compactly.
+func seriesString(name string, xs []float64, prec int) string {
+	out := name + ":"
+	for _, v := range xs {
+		out += fmt.Sprintf(" %.*f", prec, v)
+	}
+	return out + "\n"
+}
+
+// controllerConfigWith returns the default WGTT controller configuration
+// with a different switching hysteresis (Fig. 22's sweep parameter).
+func controllerConfigWith(hysteresis sim.Time) controller.Config {
+	cfg := controller.DefaultConfig()
+	cfg.Hysteresis = hysteresis
+	return cfg
+}

@@ -1,0 +1,544 @@
+package mac
+
+import (
+	"math"
+	"testing"
+
+	"wgtt/internal/mobility"
+	"wgtt/internal/packet"
+	"wgtt/internal/phy"
+	"wgtt/internal/radio"
+	"wgtt/internal/sim"
+)
+
+// --- Block ACK helpers ---
+
+func TestBitmapBuildAndCheck(t *testing.T) {
+	bm := BuildBitmap(100, []uint16{100, 101, 103, 163})
+	if !BitmapAcks(100, bm, 100) || !BitmapAcks(100, bm, 101) || !BitmapAcks(100, bm, 103) {
+		t.Error("bitmap missing in-window seqs")
+	}
+	if !BitmapAcks(100, bm, 163) {
+		t.Error("bitmap missing last in-window seq")
+	}
+	if BitmapAcks(100, bm, 102) {
+		t.Error("bitmap acknowledged an unseen seq")
+	}
+	if BitmapAcks(100, bm, 164) {
+		t.Error("seq outside 64-window acknowledged")
+	}
+	if CountAcked(bm) != 4 {
+		t.Errorf("CountAcked = %d", CountAcked(bm))
+	}
+}
+
+func TestBitmapWraparound(t *testing.T) {
+	// SSN near the top of the 12-bit space; seqs wrap through zero.
+	bm := BuildBitmap(4090, []uint16{4090, 4095, 0, 5})
+	for _, s := range []uint16{4090, 4095, 0, 5} {
+		if !BitmapAcks(4090, bm, s) {
+			t.Errorf("wrapped seq %d not acknowledged", s)
+		}
+	}
+	if BitmapAcks(4090, bm, 60) {
+		t.Error("seq past the window acknowledged")
+	}
+}
+
+func TestMergeBitmaps(t *testing.T) {
+	a := BuildBitmap(0, []uint16{0, 2})
+	b := BuildBitmap(0, []uint16{1, 2})
+	m := MergeBitmaps(a, b)
+	for _, s := range []uint16{0, 1, 2} {
+		if !BitmapAcks(0, m, s) {
+			t.Errorf("merged bitmap missing %d", s)
+		}
+	}
+	if CountAcked(m) != 3 {
+		t.Errorf("merged count = %d", CountAcked(m))
+	}
+}
+
+func TestSeqBefore(t *testing.T) {
+	if !seqBefore(10, 20) || seqBefore(20, 10) {
+		t.Error("basic ordering wrong")
+	}
+	if !seqBefore(4095, 0) {
+		t.Error("wraparound ordering wrong")
+	}
+	if seqBefore(7, 7) {
+		t.Error("equal seqs should not be before")
+	}
+}
+
+func TestFrameStartSeq(t *testing.T) {
+	f := &Frame{MPDUs: []*MPDU{{Seq: 4094}, {Seq: 4095}, {Seq: 0}, {Seq: 1}}}
+	if f.StartSeq() != 4094 {
+		t.Errorf("StartSeq = %d, want 4094 (circular min)", f.StartSeq())
+	}
+	if (&Frame{}).StartSeq() != 0 {
+		t.Error("empty frame StartSeq should be 0")
+	}
+}
+
+func TestFrameAirtime(t *testing.T) {
+	data := &Frame{Kind: KindData, MCS: 7, MPDUs: []*MPDU{{Bytes: 1500}, {Bytes: 1500}}}
+	if a := data.Airtime(); a <= phy.HTPreamble {
+		t.Errorf("data airtime = %v", a)
+	}
+	beacon := &Frame{Kind: KindBeacon, To: BroadcastAddr, MPDUs: []*MPDU{{Bytes: 100}}}
+	if a := beacon.Airtime(); a <= phy.LegacyPreamble {
+		t.Errorf("beacon airtime = %v", a)
+	}
+	if beacon.ExpectsResponse() {
+		t.Error("beacon should not expect a response")
+	}
+	if !data.ExpectsResponse() {
+		t.Error("unicast data should expect a response")
+	}
+}
+
+func TestFrameKindString(t *testing.T) {
+	if KindData.String() != "data" || KindMgmt.String() != "mgmt" ||
+		KindBeacon.String() != "beacon" || FrameKind(9).String() != "kind?9" {
+		t.Error("FrameKind strings wrong")
+	}
+}
+
+// --- Minstrel ---
+
+func TestMinstrelConvergesUp(t *testing.T) {
+	m := newMinstrel()
+	for i := 0; i < 50; i++ {
+		m.update(7, 10, 10)
+	}
+	if m.best() != 7 {
+		t.Errorf("best = %v after perfect MCS7 history", m.best())
+	}
+}
+
+func TestMinstrelConvergesDown(t *testing.T) {
+	// Closed loop on a link where only MCS ≤ 1 delivers: the controller
+	// must walk down and settle there.
+	m := newMinstrel()
+	for i := 0; i < 60; i++ {
+		b := m.best()
+		if b <= 1 {
+			m.update(b, 10, 10)
+		} else {
+			m.update(b, 10, 0)
+		}
+	}
+	if m.best() > 1 {
+		t.Errorf("best = %v, want ≤ MCS1 when only low rates deliver", m.best())
+	}
+}
+
+func TestMinstrelFailureDemotesUpperTail(t *testing.T) {
+	m := newMinstrel()
+	for i := 0; i < 30; i++ {
+		m.update(4, 10, 0)
+	}
+	if m.prob[7] > 0.1 {
+		t.Errorf("MCS7 prob = %v after persistent MCS4 failure", m.prob[7])
+	}
+}
+
+func TestMinstrelProbes(t *testing.T) {
+	m := newMinstrel()
+	for i := 0; i < 50; i++ {
+		m.update(3, 10, 10)
+	}
+	rnd := sim.NewRNG(1).Stream("probe")
+	saw := make(map[phy.MCS]bool)
+	for i := 0; i < 64; i++ {
+		saw[m.pick(rnd)] = true
+	}
+	if len(saw) < 2 {
+		t.Error("minstrel never probes away from the best rate")
+	}
+	if m.update(3, 0, 0); m.prob[3] == 0 {
+		t.Error("zero-attempt update should be ignored")
+	}
+}
+
+// --- End-to-end MAC harness ---
+
+type recSink struct {
+	frames []*RxEvent
+	bas    []*BAEvent
+}
+
+func (r *recSink) OnFrame(ev *RxEvent)    { r.frames = append(r.frames, ev) }
+func (r *recSink) OnBlockAck(ev *BAEvent) { r.bas = append(r.bas, ev) }
+
+type queueSource struct {
+	st     *Station
+	to     packet.MACAddr
+	mcs    phy.MCS
+	queue  []*packet.Packet
+	built  int
+	builds []*Frame
+	done   []*TxResult
+}
+
+func (q *queueSource) BuildFrame() *Frame {
+	if len(q.queue) == 0 {
+		return nil
+	}
+	var mpdus []*MPDU
+	n := min(len(q.queue), 16)
+	for i := 0; i < n; i++ {
+		p := q.queue[i]
+		mpdus = append(mpdus, &MPDU{Seq: q.st.NextSeq(q.to), Pkt: p, Bytes: p.Bytes})
+	}
+	q.queue = q.queue[n:]
+	q.built++
+	fr := &Frame{Kind: KindData, From: q.st.Addr, To: q.to, MCS: q.mcs, MPDUs: mpdus}
+	q.builds = append(q.builds, fr)
+	return fr
+}
+
+func (q *queueSource) OnTxDone(res *TxResult) {
+	q.done = append(q.done, res)
+	if len(q.queue) > 0 {
+		q.st.Kick()
+	}
+}
+
+type harness struct {
+	eng    *sim.Engine
+	ch     *radio.Channel
+	medium *Medium
+}
+
+func newHarness(t *testing.T, seed uint64) *harness {
+	t.Helper()
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(seed)
+	params := radio.DefaultParams()
+	params.NoFading = true // deterministic links: these tests probe the MAC
+	ch := radio.NewChannel(params, rng)
+	return &harness{eng: eng, ch: ch, medium: NewMedium(eng, ch, rng.Stream("mac"))}
+}
+
+func (h *harness) addAP(t *testing.T, name string, x float64, aliases ...packet.MACAddr) (*Station, *recSink) {
+	t.Helper()
+	ep := &radio.Endpoint{
+		Name:         name,
+		Trace:        mobility.Stationary{At: mobility.Point{X: x, Y: mobility.APSetback}},
+		Antenna:      radio.NewLairdGD24BP(),
+		BoresightRad: -math.Pi / 2,
+		TxPowerDBm:   17,
+		ExtraLossDB:  28,
+	}
+	if err := h.ch.AddEndpoint(ep); err != nil {
+		t.Fatal(err)
+	}
+	sink := &recSink{}
+	st := NewStation(h.medium, StationConfig{
+		Addr:     packet.APMAC(int(x)),
+		Aliases:  aliases,
+		Endpoint: ep,
+		Sink:     sink,
+	})
+	return st, sink
+}
+
+func (h *harness) addClient(t *testing.T, name string, tr mobility.Trace, speedHint float64) (*Station, *recSink) {
+	t.Helper()
+	ep := &radio.Endpoint{
+		Name:        name,
+		Trace:       tr,
+		TxPowerDBm:  15,
+		SpeedHintMS: speedHint,
+	}
+	if err := h.ch.AddEndpoint(ep); err != nil {
+		t.Fatal(err)
+	}
+	sink := &recSink{}
+	st := NewStation(h.medium, StationConfig{
+		Addr:     packet.ClientMAC(1),
+		Endpoint: ep,
+		Sink:     sink,
+	})
+	return st, sink
+}
+
+func mkPackets(n, bytes int) []*packet.Packet {
+	out := make([]*packet.Packet, n)
+	for i := range out {
+		out[i] = &packet.Packet{FlowID: 1, Seq: uint32(i), IPID: uint16(i), Bytes: bytes}
+	}
+	return out
+}
+
+func TestStrongLinkDelivery(t *testing.T) {
+	h := newHarness(t, 1)
+	ap, _ := h.addAP(t, "ap1", 20)
+	client, csink := h.addClient(t, "car1", mobility.Stationary{At: mobility.Point{X: 20}}, 0)
+
+	src := &queueSource{st: ap, to: client.Addr, mcs: 4, queue: mkPackets(32, 1400)}
+	ap.SetSource(src)
+	ap.Kick()
+	h.eng.RunUntil(sim.Second)
+
+	got := 0
+	for _, ev := range csink.frames {
+		if ev.Kind == KindData {
+			got += len(ev.Decoded)
+		}
+	}
+	if got < 30 {
+		t.Fatalf("delivered %d/32 MPDUs on a strong link", got)
+	}
+	// The AP should have seen Block ACKs back.
+	if len(src.done) == 0 {
+		t.Fatal("no TxResults")
+	}
+	acked := false
+	for _, res := range src.done {
+		if res != nil && res.BAReceived {
+			acked = true
+		}
+	}
+	if !acked {
+		t.Error("no Block ACK received on a strong link")
+	}
+	// CSI snapshots ride along with reception.
+	if len(csink.frames[0].SNRdB) != 56 {
+		t.Error("RxEvent missing CSI snapshot")
+	}
+}
+
+func TestAggregationAmortizesGrants(t *testing.T) {
+	h := newHarness(t, 2)
+	ap, _ := h.addAP(t, "ap1", 20)
+	client, _ := h.addClient(t, "car1", mobility.Stationary{At: mobility.Point{X: 20}}, 0)
+	src := &queueSource{st: ap, to: client.Addr, mcs: 4, queue: mkPackets(64, 1400)}
+	ap.SetSource(src)
+	ap.Kick()
+	h.eng.RunUntil(sim.Second)
+	if src.built == 0 {
+		t.Fatal("nothing sent")
+	}
+	if src.built > 8 {
+		t.Errorf("64 packets took %d frames; aggregation not working", src.built)
+	}
+	if h.medium.Grants == 0 || h.medium.Utilization() <= 0 {
+		t.Error("medium stats not accounted")
+	}
+}
+
+func TestWeakLinkLoses(t *testing.T) {
+	h := newHarness(t, 3)
+	ap, _ := h.addAP(t, "ap1", 20)
+	// Client far outside the cell.
+	client, csink := h.addClient(t, "car1", mobility.Stationary{At: mobility.Point{X: 90}}, 0)
+	src := &queueSource{st: ap, to: client.Addr, mcs: 7, queue: mkPackets(64, 1400)}
+	ap.SetSource(src)
+	ap.Kick()
+	h.eng.RunUntil(sim.Second)
+	got := 0
+	for _, ev := range csink.frames {
+		got += len(ev.Decoded)
+	}
+	if got > 10 {
+		t.Errorf("delivered %d/64 MPDUs at MCS7 far outside the cell", got)
+	}
+	if ap.BAMissed == 0 {
+		t.Error("no BA misses recorded on a hopeless link")
+	}
+}
+
+func TestPullModelSkipsFlushedWork(t *testing.T) {
+	h := newHarness(t, 4)
+	ap, _ := h.addAP(t, "ap1", 20)
+	client, csink := h.addClient(t, "car1", mobility.Stationary{At: mobility.Point{X: 20}}, 0)
+	src := &queueSource{st: ap, to: client.Addr, mcs: 4, queue: mkPackets(16, 1400)}
+	ap.SetSource(src)
+	ap.Kick()
+	// Flush the queue before the grant can fire (queues are consulted at
+	// grant time — the WGTT stop-packet semantics).
+	src.queue = nil
+	h.eng.RunUntil(sim.Second)
+	if len(csink.frames) != 0 {
+		t.Error("flushed packets still hit the air")
+	}
+	if h.medium.Grants != 0 {
+		t.Error("grant consumed for an empty frame")
+	}
+}
+
+func TestBeaconBroadcast(t *testing.T) {
+	h := newHarness(t, 5)
+	ap, _ := h.addAP(t, "ap1", 20)
+	_, csink := h.addClient(t, "car1", mobility.Stationary{At: mobility.Point{X: 20}}, 0)
+	ap.SendOneShot(func() *Frame {
+		return &Frame{Kind: KindBeacon, From: ap.Addr, To: BroadcastAddr, MPDUs: []*MPDU{{Bytes: 100}}}
+	}, nil)
+	h.eng.RunUntil(100 * sim.Millisecond)
+	found := false
+	for _, ev := range csink.frames {
+		if ev.Kind == KindBeacon {
+			found = true
+			if ev.RSSIdBm > -20 || ev.RSSIdBm < -100 {
+				t.Errorf("implausible beacon RSSI %v dBm", ev.RSSIdBm)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("beacon not received")
+	}
+	if len(csink.bas) != 0 {
+		t.Error("beacon solicited a response")
+	}
+}
+
+func TestSharedBSSIDMultiReceiver(t *testing.T) {
+	// Two APs share the BSSID alias; a client uplink frame is decoded and
+	// answered; the client must not suffer a response collision when one AP
+	// is much closer (capture).
+	h := newHarness(t, 6)
+	bssid := packet.MACAddr{0x02, 0xbb, 0, 0, 0, 1}
+	ap1, s1 := h.addAP(t, "ap1", 20, bssid)
+	_, s2 := h.addAP(t, "ap2", 60, bssid)
+	client, _ := h.addClient(t, "car1", mobility.Stationary{At: mobility.Point{X: 20}}, 0)
+	_ = ap1
+
+	src := &queueSource{st: client, to: bssid, mcs: 2, queue: mkPackets(32, 1000)}
+	client.SetSource(src)
+	client.Kick()
+	h.eng.RunUntil(sim.Second)
+
+	n1, n2 := 0, 0
+	for _, ev := range s1.frames {
+		n1 += len(ev.Decoded)
+	}
+	for _, ev := range s2.frames {
+		n2 += len(ev.Decoded)
+	}
+	if n1 < 25 {
+		t.Errorf("near AP decoded %d/32", n1)
+	}
+	// The far AP may decode some (uplink diversity) but typically fewer.
+	if n2 > n1 {
+		t.Errorf("far AP decoded more (%d) than near AP (%d)", n2, n1)
+	}
+	// Client should have received Block ACKs; collision rate ≈ 0 thanks to
+	// capture (the paper's Table 3 observation).
+	if client.RespCollided > uint64(len(src.done))/10 {
+		t.Errorf("resp collisions = %d of %d", client.RespCollided, len(src.done))
+	}
+	acked := 0
+	for _, res := range src.done {
+		if res != nil && res.BAReceived {
+			acked++
+		}
+	}
+	if acked == 0 {
+		t.Error("client never received a Block ACK")
+	}
+}
+
+func TestSeqNumbersWrap(t *testing.T) {
+	h := newHarness(t, 7)
+	ap, _ := h.addAP(t, "ap1", 20)
+	peer := packet.ClientMAC(9)
+	ap.seq[peer] = 4095
+	if s := ap.NextSeq(peer); s != 4095 {
+		t.Errorf("NextSeq = %d", s)
+	}
+	if s := ap.NextSeq(peer); s != 0 {
+		t.Errorf("NextSeq after wrap = %d", s)
+	}
+}
+
+func TestRespondFilter(t *testing.T) {
+	h := newHarness(t, 8)
+	bssid := packet.MACAddr{0x02, 0xbb, 0, 0, 0, 1}
+	ap, _ := h.addAP(t, "ap1", 20, bssid)
+	ap.SetRespondFilter(func(packet.MACAddr) bool { return false })
+	client, _ := h.addClient(t, "car1", mobility.Stationary{At: mobility.Point{X: 20}}, 0)
+	src := &queueSource{st: client, to: bssid, mcs: 2, queue: mkPackets(8, 1000)}
+	client.SetSource(src)
+	client.Kick()
+	h.eng.RunUntil(500 * sim.Millisecond)
+	for _, res := range src.done {
+		if res != nil && res.BAReceived {
+			t.Fatal("filtered AP still responded")
+		}
+	}
+	if client.BAMissed == 0 {
+		t.Error("client should have recorded BA misses")
+	}
+}
+
+func TestStationRequiresEndpoint(t *testing.T) {
+	h := newHarness(t, 9)
+	defer func() {
+		if recover() == nil {
+			t.Error("station without endpoint accepted")
+		}
+	}()
+	NewStation(h.medium, StationConfig{})
+}
+
+func TestRetuneMovesStation(t *testing.T) {
+	h := newHarness(t, 11)
+	ap, _ := h.addAP(t, "ap1", 20)
+	client, csink := h.addClient(t, "car1", mobility.Stationary{At: mobility.Point{X: 20}}, 0)
+
+	// A second medium models another wireless channel over the same space.
+	medium2 := NewMedium(h.eng, h.ch, sim.NewRNG(99).Stream("mac2"))
+
+	src := &queueSource{st: ap, to: client.Addr, mcs: 4, queue: mkPackets(16, 1400)}
+	ap.SetSource(src)
+	ap.Kick()
+	h.eng.RunUntil(200 * sim.Millisecond)
+	before := len(csink.frames)
+	if before == 0 {
+		t.Fatal("no delivery before retune")
+	}
+
+	// Client leaves for channel 2: the AP's transmissions no longer reach it.
+	client.Retune(medium2)
+	if client.Medium() != medium2 {
+		t.Fatal("Retune did not switch media")
+	}
+	src.queue = mkPackets(16, 1400)
+	ap.Kick()
+	h.eng.RunUntil(400 * sim.Millisecond)
+	if got := len(csink.frames); got != before {
+		t.Errorf("client on another channel still received %d frames", got-before)
+	}
+
+	// And back: delivery resumes.
+	client.Retune(h.medium)
+	src.queue = mkPackets(16, 1400)
+	ap.Kick()
+	h.eng.RunUntil(600 * sim.Millisecond)
+	if len(csink.frames) <= before {
+		t.Error("delivery did not resume after retuning back")
+	}
+	// Retune to the current medium is a no-op.
+	client.Retune(h.medium)
+}
+
+func TestRetuneAbandonsPendingAttempt(t *testing.T) {
+	h := newHarness(t, 12)
+	_, _ = h.addAP(t, "ap1", 20)
+	client, _ := h.addClient(t, "car1", mobility.Stationary{At: mobility.Point{X: 20}}, 0)
+	medium2 := NewMedium(h.eng, h.ch, sim.NewRNG(98).Stream("mac2"))
+
+	src := &queueSource{st: client, to: packet.APMAC(20), mcs: 2, queue: mkPackets(4, 500)}
+	client.SetSource(src)
+	client.Kick() // attempt now pending on medium 1
+	client.Retune(medium2)
+	h.eng.RunUntil(100 * sim.Millisecond)
+	// The station must not deadlock: its attempt was either abandoned and
+	// re-issued on the new medium, or completed; either way the queue drains.
+	if len(src.queue) != 0 {
+		t.Errorf("station deadlocked after retune: %d packets still queued", len(src.queue))
+	}
+}

@@ -1,0 +1,139 @@
+package mobility
+
+import "wgtt/internal/sim"
+
+// Testbed geometry constants mirroring the paper's deployment (§4, Fig. 9):
+// eight APs on the third floor of an office building overlooking a side road
+// with a 25 mph speed limit. AP1–AP4 are densely deployed (the paper's §2
+// experiment measures 7.5 m between adjacent APs), AP5–AP8 more sparsely
+// (Fig. 23 contrasts "dense" AP2–AP4 with "sparse" AP5–AP7).
+const (
+	// APSetback is the across-road distance (including building height
+	// folded into the plane) from the client lane to the AP array, meters.
+	APSetback = 12.0
+	// DenseSpacing is the along-road spacing between adjacent dense APs.
+	DenseSpacing = 7.5
+	// SparseSpacing is the along-road spacing between adjacent sparse APs.
+	SparseSpacing = 12.0
+	// LaneY is the Y coordinate of the primary driving lane.
+	LaneY = 0.0
+	// SecondLaneY is the Y coordinate of the second lane (parallel driving).
+	SecondLaneY = -3.0
+	// FollowSpacing is the car-to-car gap in the following-driving pattern
+	// of Fig. 19(a).
+	FollowSpacing = 3.0
+)
+
+// DefaultAPPositions returns the positions of the eight testbed APs. The
+// array starts densely spaced and opens up, giving the dense (AP2–AP4) and
+// sparse (AP5–AP7) segments that Fig. 23 sweeps over. Indices are 0-based;
+// the paper's "AP1" is element 0.
+func DefaultAPPositions() []Point {
+	xs := []float64{5, 12.5, 20, 27.5, 38, 50, 62, 70}
+	pts := make([]Point, len(xs))
+	for i, x := range xs {
+		pts[i] = Point{X: x, Y: APSetback}
+	}
+	return pts
+}
+
+// ArraySpan returns the along-road X extent [min, max] of an AP array.
+func ArraySpan(aps []Point) (minX, maxX float64) {
+	if len(aps) == 0 {
+		return 0, 0
+	}
+	minX, maxX = aps[0].X, aps[0].X
+	for _, p := range aps[1:] {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+	}
+	return minX, maxX
+}
+
+// TransitDrive returns a drive that enters margin meters before the first AP
+// and is long enough to exit margin meters after the last, at speedMPH.
+func TransitDrive(aps []Point, speedMPH, margin float64) *LinearDrive {
+	minX, _ := ArraySpan(aps)
+	return DriveBy(minX-margin, LaneY, speedMPH)
+}
+
+// TransitDuration returns how long a client at speedMPH takes to traverse
+// the AP array plus margin meters on both ends.
+func TransitDuration(aps []Point, speedMPH, margin float64) sim.Time {
+	minX, maxX := ArraySpan(aps)
+	dist := (maxX - minX) + 2*margin
+	return sim.FromSeconds(dist / MPH(speedMPH))
+}
+
+// Pattern names the multi-client driving patterns of Fig. 19.
+type Pattern int
+
+// The three multi-client patterns evaluated in Fig. 20.
+const (
+	// Following: cars in the same lane, FollowSpacing meters apart.
+	Following Pattern = iota
+	// Parallel: cars side by side in adjacent lanes.
+	Parallel
+	// Opposing: cars driving toward each other from opposite ends.
+	Opposing
+)
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case Following:
+		return "following"
+	case Parallel:
+		return "parallel"
+	case Opposing:
+		return "opposing"
+	default:
+		return "unknown"
+	}
+}
+
+// PatternTraces builds n traces arranged in the given pattern through the AP
+// array at speedMPH. For Opposing, clients alternate direction. margin is
+// the entry/exit margin in meters.
+func PatternTraces(p Pattern, n int, aps []Point, speedMPH, margin float64) []Trace {
+	minX, maxX := ArraySpan(aps)
+	traces := make([]Trace, 0, n)
+	for i := 0; i < n; i++ {
+		switch p {
+		case Following:
+			// Later cars start further back so car 0 leads.
+			traces = append(traces, DriveBy(minX-margin-float64(i)*FollowSpacing, LaneY, speedMPH))
+		case Parallel:
+			lane := LaneY
+			if i%2 == 1 {
+				lane = SecondLaneY
+			}
+			// Side-by-side: same X, adjacent lanes (extra cars stagger).
+			traces = append(traces, DriveBy(minX-margin-float64(i/2)*FollowSpacing, lane, speedMPH))
+		case Opposing:
+			if i%2 == 0 {
+				traces = append(traces, DriveBy(minX-margin, LaneY, speedMPH))
+			} else {
+				d := DriveBy(maxX+margin, SecondLaneY, speedMPH)
+				d.Vel.X = -d.Vel.X
+				traces = append(traces, d)
+			}
+		}
+	}
+	return traces
+}
+
+// DenseArray returns n APs uniformly spaced along the road starting at
+// startX — the §7 "large area deployment" layout (e.g. a tunnel or longer
+// corridor), as opposed to the mixed-density testbed.
+func DenseArray(n int, startX, spacing float64) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: startX + float64(i)*spacing, Y: APSetback}
+	}
+	return pts
+}

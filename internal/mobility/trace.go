@@ -1,0 +1,142 @@
+package mobility
+
+import (
+	"fmt"
+	"sort"
+
+	"wgtt/internal/sim"
+)
+
+// Trace reports where a client is, and how it is moving, at a point in
+// virtual time. Implementations must be pure: the same t always yields the
+// same answer, so components may sample a trace at any granularity.
+type Trace interface {
+	// Position returns the client's location at time t.
+	Position(t sim.Time) Point
+	// Velocity returns the client's velocity vector in m/s at time t.
+	Velocity(t sim.Time) Point
+}
+
+// Speed returns the scalar speed (m/s) of tr at time t.
+func Speed(tr Trace, t sim.Time) float64 { return tr.Velocity(t).Norm() }
+
+// Stationary is a Trace that never moves. It models the parked/static client
+// of the paper's 0 mph data point.
+type Stationary struct {
+	At Point
+}
+
+// Position implements Trace.
+func (s Stationary) Position(sim.Time) Point { return s.At }
+
+// Velocity implements Trace.
+func (s Stationary) Velocity(sim.Time) Point { return Point{} }
+
+// LinearDrive is a constant-velocity drive along the road: the client sits
+// at Start until Depart, then moves with the given velocity. It models the
+// paper's drive-by experiments (a car passing the eight-AP array at constant
+// speed).
+type LinearDrive struct {
+	Start    Point    // position at and before Depart
+	Vel      Point    // velocity in m/s once moving
+	Depart   sim.Time // time motion begins
+	Duration sim.Time // optional: stop after this long in motion (0 = never)
+}
+
+// DriveBy returns a LinearDrive that enters at startX in the lane laneY and
+// travels in +X at speedMPH, departing at time zero.
+func DriveBy(startX, laneY, speedMPH float64) *LinearDrive {
+	return &LinearDrive{
+		Start: Point{X: startX, Y: laneY},
+		Vel:   Point{X: MPH(speedMPH)},
+	}
+}
+
+// Position implements Trace.
+func (d *LinearDrive) Position(t sim.Time) Point {
+	if t <= d.Depart {
+		return d.Start
+	}
+	elapsed := t - d.Depart
+	if d.Duration > 0 && elapsed > d.Duration {
+		elapsed = d.Duration
+	}
+	return d.Start.Add(d.Vel.Scale(elapsed.Seconds()))
+}
+
+// Velocity implements Trace.
+func (d *LinearDrive) Velocity(t sim.Time) Point {
+	if t <= d.Depart {
+		return Point{}
+	}
+	if d.Duration > 0 && t > d.Depart+d.Duration {
+		return Point{}
+	}
+	return d.Vel
+}
+
+// String describes the drive for logs.
+func (d *LinearDrive) String() string {
+	return fmt.Sprintf("drive from %v at %.1f mph", d.Start, ToMPH(d.Vel.Norm()))
+}
+
+// Waypoint is one leg endpoint of a WaypointTrace.
+type Waypoint struct {
+	At  sim.Time
+	Pos Point
+}
+
+// WaypointTrace interpolates linearly between time-stamped waypoints. Before
+// the first waypoint the client is parked at it; after the last, parked at
+// the last. It supports arbitrary recorded or synthetic mobility, e.g.
+// slowing for a light mid-array.
+type WaypointTrace struct {
+	points []Waypoint
+}
+
+// NewWaypointTrace builds a trace from waypoints, which must be in strictly
+// increasing time order.
+func NewWaypointTrace(points []Waypoint) (*WaypointTrace, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("mobility: waypoint trace needs at least one point")
+	}
+	if !sort.SliceIsSorted(points, func(i, j int) bool { return points[i].At < points[j].At }) {
+		return nil, fmt.Errorf("mobility: waypoints must be sorted by time")
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].At == points[i-1].At {
+			return nil, fmt.Errorf("mobility: duplicate waypoint time %v", points[i].At)
+		}
+	}
+	cp := make([]Waypoint, len(points))
+	copy(cp, points)
+	return &WaypointTrace{points: cp}, nil
+}
+
+// Position implements Trace.
+func (w *WaypointTrace) Position(t sim.Time) Point {
+	pts := w.points
+	if t <= pts[0].At {
+		return pts[0].Pos
+	}
+	last := pts[len(pts)-1]
+	if t >= last.At {
+		return last.Pos
+	}
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].At > t }) // first point after t
+	a, b := pts[i-1], pts[i]
+	frac := float64(t-a.At) / float64(b.At-a.At)
+	return a.Pos.Add(b.Pos.Sub(a.Pos).Scale(frac))
+}
+
+// Velocity implements Trace.
+func (w *WaypointTrace) Velocity(t sim.Time) Point {
+	pts := w.points
+	if t <= pts[0].At || t >= pts[len(pts)-1].At {
+		return Point{}
+	}
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].At > t })
+	a, b := pts[i-1], pts[i]
+	dt := (b.At - a.At).Seconds()
+	return b.Pos.Sub(a.Pos).Scale(1 / dt)
+}

@@ -1,0 +1,52 @@
+// Package packet defines the data unit that flows through the WGTT system
+// and the wire formats of everything the paper sends over the Ethernet
+// backhaul: tunneled downlink/uplink data (§3.1.3, §3.2.2), the
+// stop/start/ack switching protocol (§3.1.2), CSI reports (§3.1.1),
+// forwarded Block ACKs (§3.2.1), and association-sync records (§4.3).
+package packet
+
+import (
+	"fmt"
+)
+
+// MACAddr is a 48-bit layer-2 address.
+type MACAddr [6]byte
+
+// String renders the address in colon-hex form.
+func (m MACAddr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsZero reports whether the address is all-zero (unset).
+func (m MACAddr) IsZero() bool { return m == MACAddr{} }
+
+// IPv4Addr is a 32-bit layer-3 address.
+type IPv4Addr [4]byte
+
+// String renders the address in dotted-quad form.
+func (a IPv4Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// IsZero reports whether the address is all-zero (unset).
+func (a IPv4Addr) IsZero() bool { return a == IPv4Addr{} }
+
+// ClientMAC derives a deterministic client MAC from a small integer id,
+// using a locally-administered OUI.
+func ClientMAC(id int) MACAddr {
+	return MACAddr{0x02, 0xc1, 0x1e, byte(id >> 16), byte(id >> 8), byte(id)}
+}
+
+// APMAC derives a deterministic AP MAC from a small integer id.
+func APMAC(id int) MACAddr {
+	return MACAddr{0x02, 0xa9, 0x00, byte(id >> 16), byte(id >> 8), byte(id)}
+}
+
+// APIP derives the backhaul IP of AP id: 10.0.0.(id+10).
+func APIP(id int) IPv4Addr { return IPv4Addr{10, 0, 0, byte(id + 10)} }
+
+// ControllerIP is the backhaul address of the WGTT controller.
+var ControllerIP = IPv4Addr{10, 0, 0, 1}
+
+// ClientIP derives the WLAN IP of client id: 192.168.1.(id+100).
+func ClientIP(id int) IPv4Addr { return IPv4Addr{192, 168, 1, byte(id + 100)} }

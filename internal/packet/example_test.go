@@ -1,0 +1,39 @@
+package packet_test
+
+import (
+	"fmt"
+
+	"wgtt/internal/packet"
+)
+
+// Every backhaul message has a stable binary wire format.
+func ExampleEncode() {
+	stop := &packet.Stop{
+		Client:   packet.ClientMAC(1),
+		NextAP:   packet.APIP(2),
+		SwitchID: 7,
+	}
+	raw := packet.Encode(stop)
+	msg, err := packet.Decode(raw)
+	if err != nil {
+		panic(err)
+	}
+	back := msg.(*packet.Stop)
+	fmt.Printf("%d bytes on the wire; stop(client=%v) -> AP %v\n",
+		len(raw), back.Client, back.NextAP)
+	// Output:
+	// 17 bytes on the wire; stop(client=02:c1:1e:00:00:01) -> AP 10.0.0.12
+}
+
+// The controller's uplink de-duplication key is the 48-bit
+// (source IP, IP ID) pair of §3.2.2.
+func ExampleKeyOf() {
+	viaAP1 := &packet.Packet{SrcIP: packet.ClientIP(1), IPID: 42}
+	viaAP2 := &packet.Packet{SrcIP: packet.ClientIP(1), IPID: 42}
+	next := &packet.Packet{SrcIP: packet.ClientIP(1), IPID: 43}
+	fmt.Println(packet.KeyOf(viaAP1) == packet.KeyOf(viaAP2))
+	fmt.Println(packet.KeyOf(viaAP1) == packet.KeyOf(next))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,85 @@
+package packet
+
+import (
+	"fmt"
+
+	"wgtt/internal/sim"
+)
+
+// IndexBits is the width of the WGTT per-client packet index. The paper
+// sets m = 12 bits so indices stay unique inside each client's cyclic
+// buffer (§3.1.2).
+const IndexBits = 12
+
+// IndexMask extracts an index from a wider integer.
+const IndexMask = (1 << IndexBits) - 1
+
+// IndexDist returns the forward distance from index a to index b in the
+// 12-bit circular index space.
+func IndexDist(a, b uint16) uint16 { return (b - a) & IndexMask }
+
+// NextIndex returns the index after i in the 12-bit circular space.
+func NextIndex(i uint16) uint16 { return (i + 1) & IndexMask }
+
+// Packet is one IP datagram moving through the system. The simulator
+// carries it by pointer; queue occupancy and airtime are derived from
+// Bytes, so no payload bytes are materialized.
+type Packet struct {
+	// FlowID identifies the transport flow the packet belongs to.
+	FlowID uint32
+	// Seq is the transport-layer sequence number (bytes or segments,
+	// interpreted by the transport). Used for loss/ordering analysis.
+	Seq uint32
+	// IPID is the IP identification field; with SrcIP it forms the 48-bit
+	// de-duplication key of §3.2.2.
+	IPID uint16
+	// SrcIP and DstIP are the layer-3 endpoints (client ↔ content server).
+	SrcIP, DstIP IPv4Addr
+	// ClientMAC is the layer-2 address of the mobile client this packet is
+	// delivered to (downlink) or heard from (uplink).
+	ClientMAC MACAddr
+	// Bytes is the on-the-wire size of the datagram, headers included.
+	Bytes int
+	// Index is the WGTT 12-bit per-client downlink index assigned by the
+	// controller; meaningful only on downlink packets.
+	Index uint16
+	// Uplink marks client→network packets.
+	Uplink bool
+	// Created is when the packet entered the system (for latency metrics).
+	Created sim.Time
+	// Kind annotates transport semantics (data vs pure TCP ACK), letting
+	// the MAC and analysis distinguish them without payload inspection.
+	Kind Kind
+}
+
+// Kind classifies a packet's transport role.
+type Kind uint8
+
+// Packet kinds.
+const (
+	KindData Kind = iota // payload-bearing segment or datagram
+	KindAck              // transport-level acknowledgement
+	// KindNull is an 802.11 null-data keepalive: it exists so the APs have
+	// uplink frames to measure CSI on even when the client's transport is
+	// silent (pure-downlink workloads). APs do not tunnel nulls upstream.
+	KindNull
+)
+
+// String summarizes the packet for logs.
+func (p *Packet) String() string {
+	dir := "down"
+	if p.Uplink {
+		dir = "up"
+	}
+	return fmt.Sprintf("pkt{flow=%d seq=%d %s %dB idx=%d}", p.FlowID, p.Seq, dir, p.Bytes, p.Index)
+}
+
+// DedupKey is the controller's 48-bit uplink de-duplication key: the source
+// IP address plus the IP identification field (§3.2.2).
+type DedupKey uint64
+
+// KeyOf builds the de-duplication key for a packet.
+func KeyOf(p *Packet) DedupKey {
+	return DedupKey(uint64(p.SrcIP[0])<<40 | uint64(p.SrcIP[1])<<32 |
+		uint64(p.SrcIP[2])<<24 | uint64(p.SrcIP[3])<<16 | uint64(p.IPID))
+}

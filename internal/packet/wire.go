@@ -1,0 +1,451 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"wgtt/internal/sim"
+)
+
+// Message is any unit that crosses the Ethernet backhaul. Every message has
+// a stable binary wire format (Marshal) so the formats the paper describes
+// are real, testable encodings rather than in-memory conveniences.
+type Message interface {
+	// Type returns the wire discriminator.
+	Type() MsgType
+	// WireSize returns the encoded payload length in bytes (excluding the
+	// 3-byte envelope header).
+	WireSize() int
+	// marshal appends the payload encoding to dst.
+	marshal(dst []byte) []byte
+	// unmarshal parses the payload encoding.
+	unmarshal(src []byte) error
+}
+
+// MsgType discriminates backhaul messages.
+type MsgType uint8
+
+// Backhaul message types.
+const (
+	// MsgDownData tunnels one downlink data packet controller→AP (§3.1.3).
+	MsgDownData MsgType = iota + 1
+	// MsgUpData tunnels one overheard uplink packet AP→controller (§3.2.2).
+	MsgUpData
+	// MsgStop is the controller→AP "cease sending to client c" command.
+	MsgStop
+	// MsgStart is the old-AP→new-AP "resume at index k" handoff.
+	MsgStart
+	// MsgSwitchAck is the new-AP→controller switch acknowledgement.
+	MsgSwitchAck
+	// MsgCSI is an AP→controller CSI report.
+	MsgCSI
+	// MsgBAFwd is a neighbour-AP→serving-AP forwarded Block ACK (§3.2.1).
+	MsgBAFwd
+	// MsgAssoc replicates client association state AP→AP (§4.3).
+	MsgAssoc
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgDownData:
+		return "down-data"
+	case MsgUpData:
+		return "up-data"
+	case MsgStop:
+		return "stop"
+	case MsgStart:
+		return "start"
+	case MsgSwitchAck:
+		return "switch-ack"
+	case MsgCSI:
+		return "csi"
+	case MsgBAFwd:
+		return "ba-fwd"
+	case MsgAssoc:
+		return "assoc"
+	default:
+		return fmt.Sprintf("msg?%d", uint8(t))
+	}
+}
+
+// Encode serializes a message with its 3-byte envelope: type (1) and
+// payload length (2, big-endian).
+func Encode(m Message) []byte {
+	n := m.WireSize()
+	dst := make([]byte, 0, 3+n)
+	dst = append(dst, byte(m.Type()))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(n))
+	dst = m.marshal(dst)
+	return dst
+}
+
+// Decode parses one enveloped message.
+func Decode(src []byte) (Message, error) {
+	if len(src) < 3 {
+		return nil, fmt.Errorf("packet: envelope truncated (%d bytes)", len(src))
+	}
+	t := MsgType(src[0])
+	n := int(binary.BigEndian.Uint16(src[1:3]))
+	if len(src) < 3+n {
+		return nil, fmt.Errorf("packet: %v payload truncated: have %d, want %d", t, len(src)-3, n)
+	}
+	var m Message
+	switch t {
+	case MsgDownData:
+		m = &DownData{}
+	case MsgUpData:
+		m = &UpData{}
+	case MsgStop:
+		m = &Stop{}
+	case MsgStart:
+		m = &Start{}
+	case MsgSwitchAck:
+		m = &SwitchAck{}
+	case MsgCSI:
+		m = &CSIReport{}
+	case MsgBAFwd:
+		m = &BlockAckFwd{}
+	case MsgAssoc:
+		m = &AssocSync{}
+	default:
+		return nil, fmt.Errorf("packet: unknown message type %d", src[0])
+	}
+	if err := m.unmarshal(src[3 : 3+n]); err != nil {
+		return nil, fmt.Errorf("packet: %v: %w", t, err)
+	}
+	return m, nil
+}
+
+// pktHeaderSize is the encoded size of the shared Packet descriptor.
+const pktHeaderSize = 4 + 4 + 2 + 4 + 4 + 6 + 2 + 2 + 1 + 8
+
+func marshalPkt(dst []byte, p *Packet) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, p.FlowID)
+	dst = binary.BigEndian.AppendUint32(dst, p.Seq)
+	dst = binary.BigEndian.AppendUint16(dst, p.IPID)
+	dst = append(dst, p.SrcIP[:]...)
+	dst = append(dst, p.DstIP[:]...)
+	dst = append(dst, p.ClientMAC[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(p.Bytes))
+	dst = binary.BigEndian.AppendUint16(dst, p.Index)
+	flags := byte(p.Kind) << 1
+	if p.Uplink {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(p.Created))
+	return dst
+}
+
+func unmarshalPkt(src []byte) (*Packet, error) {
+	if len(src) < pktHeaderSize {
+		return nil, fmt.Errorf("packet descriptor truncated: %d bytes", len(src))
+	}
+	p := &Packet{}
+	p.FlowID = binary.BigEndian.Uint32(src[0:4])
+	p.Seq = binary.BigEndian.Uint32(src[4:8])
+	p.IPID = binary.BigEndian.Uint16(src[8:10])
+	copy(p.SrcIP[:], src[10:14])
+	copy(p.DstIP[:], src[14:18])
+	copy(p.ClientMAC[:], src[18:24])
+	p.Bytes = int(binary.BigEndian.Uint16(src[24:26]))
+	p.Index = binary.BigEndian.Uint16(src[26:28])
+	flags := src[28]
+	p.Uplink = flags&1 != 0
+	p.Kind = Kind(flags >> 1)
+	p.Created = sim.Time(binary.BigEndian.Uint64(src[29:37]))
+	return p, nil
+}
+
+// DownData tunnels a downlink packet from the controller to one AP: the
+// outer header targets the AP's backhaul IP, the inner descriptor keeps the
+// client's own L2/L3 addresses so the AP can tell which client queue the
+// packet belongs to (§3.1.3).
+type DownData struct {
+	APDst IPv4Addr // tunnel destination (AP backhaul address)
+	Pkt   *Packet
+}
+
+// Type implements Message.
+func (*DownData) Type() MsgType { return MsgDownData }
+
+// WireSize implements Message.
+func (*DownData) WireSize() int { return 4 + pktHeaderSize }
+
+func (d *DownData) marshal(dst []byte) []byte {
+	dst = append(dst, d.APDst[:]...)
+	return marshalPkt(dst, d.Pkt)
+}
+
+func (d *DownData) unmarshal(src []byte) error {
+	if len(src) < 4+pktHeaderSize {
+		return fmt.Errorf("truncated")
+	}
+	copy(d.APDst[:], src[0:4])
+	p, err := unmarshalPkt(src[4:])
+	d.Pkt = p
+	return err
+}
+
+// UpData tunnels an overheard uplink packet from an AP to the controller,
+// with the AP's identity as the outer source so the controller can record
+// which AP heard it (§3.2.2).
+type UpData struct {
+	APSrc IPv4Addr
+	Pkt   *Packet
+}
+
+// Type implements Message.
+func (*UpData) Type() MsgType { return MsgUpData }
+
+// WireSize implements Message.
+func (*UpData) WireSize() int { return 4 + pktHeaderSize }
+
+func (u *UpData) marshal(dst []byte) []byte {
+	dst = append(dst, u.APSrc[:]...)
+	return marshalPkt(dst, u.Pkt)
+}
+
+func (u *UpData) unmarshal(src []byte) error {
+	if len(src) < 4+pktHeaderSize {
+		return fmt.Errorf("truncated")
+	}
+	copy(u.APSrc[:], src[0:4])
+	p, err := unmarshalPkt(src[4:])
+	u.Pkt = p
+	return err
+}
+
+// Stop is step (1) of the switching protocol: the controller tells the
+// currently-transmitting AP to cease sending to client c. It carries the
+// layer-2 addresses of the client and of the AP taking over (§3.1.2).
+type Stop struct {
+	Client   MACAddr
+	NextAP   IPv4Addr
+	SwitchID uint32 // correlates stop/start/ack of one switch attempt
+}
+
+// Type implements Message.
+func (*Stop) Type() MsgType { return MsgStop }
+
+// WireSize implements Message.
+func (*Stop) WireSize() int { return 6 + 4 + 4 }
+
+func (s *Stop) marshal(dst []byte) []byte {
+	dst = append(dst, s.Client[:]...)
+	dst = append(dst, s.NextAP[:]...)
+	return binary.BigEndian.AppendUint32(dst, s.SwitchID)
+}
+
+func (s *Stop) unmarshal(src []byte) error {
+	if len(src) < s.WireSize() {
+		return fmt.Errorf("truncated")
+	}
+	copy(s.Client[:], src[0:6])
+	copy(s.NextAP[:], src[6:10])
+	s.SwitchID = binary.BigEndian.Uint32(src[10:14])
+	return nil
+}
+
+// Start is step (2): the old AP tells the new AP the index k of the first
+// unsent packet for client c, so the new AP resumes from its own cyclic
+// queue with no backhaul retransfer (§3.1.2).
+type Start struct {
+	Client   MACAddr
+	Index    uint16 // k, 12-bit
+	SwitchID uint32
+}
+
+// Type implements Message.
+func (*Start) Type() MsgType { return MsgStart }
+
+// WireSize implements Message.
+func (*Start) WireSize() int { return 6 + 2 + 4 }
+
+func (s *Start) marshal(dst []byte) []byte {
+	dst = append(dst, s.Client[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, s.Index)
+	return binary.BigEndian.AppendUint32(dst, s.SwitchID)
+}
+
+func (s *Start) unmarshal(src []byte) error {
+	if len(src) < s.WireSize() {
+		return fmt.Errorf("truncated")
+	}
+	copy(s.Client[:], src[0:6])
+	s.Index = binary.BigEndian.Uint16(src[6:8])
+	s.SwitchID = binary.BigEndian.Uint32(src[8:12])
+	return nil
+}
+
+// SwitchAck is step (3): the new AP confirms the switch to the controller.
+type SwitchAck struct {
+	Client   MACAddr
+	AP       IPv4Addr // acknowledging AP
+	SwitchID uint32
+}
+
+// Type implements Message.
+func (*SwitchAck) Type() MsgType { return MsgSwitchAck }
+
+// WireSize implements Message.
+func (*SwitchAck) WireSize() int { return 6 + 4 + 4 }
+
+func (a *SwitchAck) marshal(dst []byte) []byte {
+	dst = append(dst, a.Client[:]...)
+	dst = append(dst, a.AP[:]...)
+	return binary.BigEndian.AppendUint32(dst, a.SwitchID)
+}
+
+func (a *SwitchAck) unmarshal(src []byte) error {
+	if len(src) < a.WireSize() {
+		return fmt.Errorf("truncated")
+	}
+	copy(a.Client[:], src[0:6])
+	copy(a.AP[:], src[6:10])
+	a.SwitchID = binary.BigEndian.Uint32(src[10:14])
+	return nil
+}
+
+// CSISubcarriers is the per-report subcarrier count on the wire.
+const CSISubcarriers = 56
+
+// CSIReport carries one CSI measurement AP→controller. SNRs are quantized
+// to 0.25 dB steps in int16, mirroring the compact encoding of the Atheros
+// CSI tool's UDP export.
+type CSIReport struct {
+	Client MACAddr
+	AP     IPv4Addr
+	At     int64 // sim.Time in ns
+	SNRQ   [CSISubcarriers]int16
+}
+
+// Type implements Message.
+func (*CSIReport) Type() MsgType { return MsgCSI }
+
+// WireSize implements Message.
+func (*CSIReport) WireSize() int { return 6 + 4 + 8 + 2*CSISubcarriers }
+
+func (c *CSIReport) marshal(dst []byte) []byte {
+	dst = append(dst, c.Client[:]...)
+	dst = append(dst, c.AP[:]...)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(c.At))
+	for _, q := range c.SNRQ {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(q))
+	}
+	return dst
+}
+
+func (c *CSIReport) unmarshal(src []byte) error {
+	if len(src) < c.WireSize() {
+		return fmt.Errorf("truncated")
+	}
+	copy(c.Client[:], src[0:6])
+	copy(c.AP[:], src[6:10])
+	c.At = int64(binary.BigEndian.Uint64(src[10:18]))
+	for i := range c.SNRQ {
+		c.SNRQ[i] = int16(binary.BigEndian.Uint16(src[18+2*i : 20+2*i]))
+	}
+	return nil
+}
+
+// QuantizeSNR packs per-subcarrier dB values into the report's 0.25 dB
+// fixed-point representation.
+func (c *CSIReport) QuantizeSNR(snrDB []float64) {
+	for i := range c.SNRQ {
+		v := 0.0
+		if i < len(snrDB) {
+			v = snrDB[i]
+		}
+		q := math.Round(v * 4)
+		switch {
+		case q > 32767:
+			q = 32767
+		case q < -32768:
+			q = -32768
+		}
+		c.SNRQ[i] = int16(q)
+	}
+}
+
+// SNRdB unpacks the quantized SNRs back to dB.
+func (c *CSIReport) SNRdB() []float64 {
+	out := make([]float64, CSISubcarriers)
+	for i, q := range c.SNRQ {
+		out[i] = float64(q) / 4
+	}
+	return out
+}
+
+// BlockAckFwd carries an overheard Block ACK from a monitor-mode AP to the
+// client's serving AP: client address, starting sequence number, and the
+// 64-bit compressed bitmap (§3.2.1).
+type BlockAckFwd struct {
+	Client MACAddr
+	FromAP IPv4Addr
+	SSN    uint16 // starting 802.11 sequence number of the bitmap window
+	Bitmap uint64
+}
+
+// Type implements Message.
+func (*BlockAckFwd) Type() MsgType { return MsgBAFwd }
+
+// WireSize implements Message.
+func (*BlockAckFwd) WireSize() int { return 6 + 4 + 2 + 8 }
+
+func (b *BlockAckFwd) marshal(dst []byte) []byte {
+	dst = append(dst, b.Client[:]...)
+	dst = append(dst, b.FromAP[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, b.SSN)
+	return binary.BigEndian.AppendUint64(dst, b.Bitmap)
+}
+
+func (b *BlockAckFwd) unmarshal(src []byte) error {
+	if len(src) < b.WireSize() {
+		return fmt.Errorf("truncated")
+	}
+	copy(b.Client[:], src[0:6])
+	copy(b.FromAP[:], src[6:10])
+	b.SSN = binary.BigEndian.Uint16(src[10:12])
+	b.Bitmap = binary.BigEndian.Uint64(src[12:20])
+	return nil
+}
+
+// AssocSync replicates a client's association state from the AP that
+// completed the association to every other AP, mirroring the hostapd
+// sta_info → hostapd_sta_add_params hand-off of §4.3.
+type AssocSync struct {
+	Client     MACAddr
+	ClientIP   IPv4Addr
+	AID        uint16 // association ID
+	Authorized bool
+}
+
+// Type implements Message.
+func (*AssocSync) Type() MsgType { return MsgAssoc }
+
+// WireSize implements Message.
+func (*AssocSync) WireSize() int { return 6 + 4 + 2 + 1 }
+
+func (a *AssocSync) marshal(dst []byte) []byte {
+	dst = append(dst, a.Client[:]...)
+	dst = append(dst, a.ClientIP[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, a.AID)
+	if a.Authorized {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func (a *AssocSync) unmarshal(src []byte) error {
+	if len(src) < a.WireSize() {
+		return fmt.Errorf("truncated")
+	}
+	copy(a.Client[:], src[0:6])
+	copy(a.ClientIP[:], src[6:10])
+	a.AID = binary.BigEndian.Uint16(src[10:12])
+	a.Authorized = src[12] != 0
+	return nil
+}

@@ -1,0 +1,114 @@
+// Package phy models the 802.11n physical layer used by the testbed: HT20
+// single-spatial-stream MCS 0–7 (the splitter-combined parabolic antenna
+// yields one stream, §4.2), AWGN bit-error-rate curves per modulation, a
+// packet-error model driven by Effective SNR, and the airtime arithmetic for
+// aggregate frames and (block) acknowledgements.
+package phy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Modulation is an 802.11 constellation.
+type Modulation int
+
+// The constellations used by MCS 0–7.
+const (
+	BPSK Modulation = iota
+	QPSK
+	QAM16
+	QAM64
+)
+
+// String implements fmt.Stringer.
+func (m Modulation) String() string {
+	switch m {
+	case BPSK:
+		return "BPSK"
+	case QPSK:
+		return "QPSK"
+	case QAM16:
+		return "16-QAM"
+	case QAM64:
+		return "64-QAM"
+	default:
+		return fmt.Sprintf("Modulation(%d)", int(m))
+	}
+}
+
+// BitsPerSymbol returns the bits carried per subcarrier per OFDM symbol.
+func (m Modulation) BitsPerSymbol() int {
+	switch m {
+	case BPSK:
+		return 1
+	case QPSK:
+		return 2
+	case QAM16:
+		return 4
+	case QAM64:
+		return 6
+	default:
+		return 0
+	}
+}
+
+// qfunc is the Gaussian tail probability Q(x).
+func qfunc(x float64) float64 { return 0.5 * math.Erfc(x/math.Sqrt2) }
+
+// BER returns the uncoded bit error rate of the modulation at the given
+// per-symbol SNR (linear). These are the standard AWGN approximations used
+// by Halperin et al.'s Effective SNR construction, which the paper's AP
+// selection metric is built on.
+func (m Modulation) BER(snrLinear float64) float64 {
+	if snrLinear <= 0 {
+		return 0.5
+	}
+	var b float64
+	switch m {
+	case BPSK:
+		b = qfunc(math.Sqrt(2 * snrLinear))
+	case QPSK:
+		b = qfunc(math.Sqrt(snrLinear))
+	case QAM16:
+		b = 0.75 * qfunc(math.Sqrt(snrLinear/5))
+	case QAM64:
+		b = (7.0 / 12.0) * qfunc(math.Sqrt(snrLinear/21))
+	default:
+		return 0.5
+	}
+	if b > 0.5 {
+		b = 0.5
+	}
+	return b
+}
+
+// minBER floors BER values so that the inverse stays finite: beyond this the
+// channel is error-free for any practical frame count.
+const minBER = 1e-15
+
+// InvBER returns the per-symbol SNR (linear) at which the modulation attains
+// the given bit error rate — the inverse of BER, found by bisection. BERs at
+// or below minBER map to the SNR achieving minBER (an effective ceiling);
+// BERs at or above the modulation's zero-SNR saturation value map to 0.
+func (m Modulation) InvBER(ber float64) float64 {
+	if ber >= m.BER(1e-9) {
+		return 0
+	}
+	if ber < minBER {
+		ber = minBER
+	}
+	lo, hi := 1e-9, 1e9 // linear SNR bracket: −90 dB … +90 dB
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection: BER is log-linear-ish in dB
+		if m.BER(mid) > ber {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi/lo < 1+1e-12 {
+			break
+		}
+	}
+	return math.Sqrt(lo * hi)
+}

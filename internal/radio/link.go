@@ -1,0 +1,119 @@
+package radio
+
+import (
+	"math"
+
+	"wgtt/internal/mobility"
+	"wgtt/internal/sim"
+)
+
+// Endpoint is one radio node: an AP (directional antenna, fixed position,
+// window/cable losses) or a client (omni antenna, vehicular trace).
+type Endpoint struct {
+	Name         string
+	Trace        mobility.Trace
+	Antenna      Antenna
+	BoresightRad float64 // antenna orientation; ignored by omni antennas
+	TxPowerDBm   float64
+	ExtraLossDB  float64 // fixed per-node losses (cables, splitter, window)
+	SpeedHintMS  float64 // design speed used to set the link Doppler spread
+}
+
+// Position returns the endpoint's location at time t.
+func (e *Endpoint) Position(t sim.Time) mobility.Point { return e.Trace.Position(t) }
+
+// GainTowardDB returns the endpoint's antenna gain toward point q at time t.
+func (e *Endpoint) GainTowardDB(t sim.Time, q mobility.Point) float64 {
+	angle := e.Position(t).AngleTo(q) - e.BoresightRad
+	return e.Antenna.GainDB(angle)
+}
+
+// Link is the radio channel between two endpoints. The large-scale path is
+// deterministic from geometry; the small-scale term is a frequency-selective
+// Fader. Channel reciprocity holds (as on a real TDD Wi-Fi channel): both
+// directions share the same fading and path gain and differ only in transmit
+// power, which is what lets WGTT predict downlink quality from uplink CSI.
+type Link struct {
+	A, B   *Endpoint
+	fader  *Fader
+	params Params
+
+	// disturb is an optional extra time-varying attenuation (dB) modelling
+	// scattering from other vehicles near the link (see Channel.AddDisturber).
+	disturb func(t sim.Time) float64
+
+	// shadow, when set, adds spatially-correlated log-normal shadowing
+	// evaluated at the mobile endpoint's position.
+	shadow *Shadower
+	mobile *Endpoint
+}
+
+// Distance returns the A↔B separation in meters at time t.
+func (l *Link) Distance(t sim.Time) float64 {
+	return l.A.Position(t).Distance(l.B.Position(t))
+}
+
+// PathGainDB is the deterministic (no-fading) gain of the link at time t:
+// both antenna gains minus path loss and fixed losses. Typically negative.
+func (l *Link) PathGainDB(t sim.Time) float64 {
+	pa, pb := l.A.Position(t), l.B.Position(t)
+	d := pa.Distance(pb)
+	pl := l.params.refLossDB() + 10*l.params.PathLossExponent*math.Log10(math.Max(d, l.params.RefDistanceM)/l.params.RefDistanceM)
+	g := l.A.GainTowardDB(t, pb) + l.B.GainTowardDB(t, pa)
+	loss := l.A.ExtraLossDB + l.B.ExtraLossDB
+	if l.disturb != nil {
+		loss += l.disturb(t)
+	}
+	if l.shadow != nil {
+		mp := l.mobile.Position(t)
+		g += l.shadow.GainDB(mp.X, mp.Y)
+	}
+	return g - pl - loss
+}
+
+// SNRPerSubcarrierDB fills dst (len = Params.Subcarriers) with the
+// instantaneous per-subcarrier SNR in dB for a transmission at txPowerDBm.
+func (l *Link) SNRPerSubcarrierDB(t sim.Time, txPowerDBm float64, dst []float64) {
+	base := txPowerDBm + l.PathGainDB(t) - l.params.noiseFloorDBm()
+	if l.params.NoFading {
+		for i := range dst {
+			dst[i] = base
+		}
+		return
+	}
+	l.fader.GainsDB(t.Seconds(), l.params.SubcarrierSpacingHz, dst)
+	for i := range dst {
+		dst[i] += base
+	}
+}
+
+// SNRSnapshot returns a freshly allocated per-subcarrier SNR slice for a
+// transmission from endpoint from ("A" side if from == l.A).
+func (l *Link) SNRSnapshot(t sim.Time, from *Endpoint) []float64 {
+	dst := make([]float64, l.params.Subcarriers)
+	l.SNRPerSubcarrierDB(t, from.TxPowerDBm, dst)
+	return dst
+}
+
+// MeanSNRDB returns the wideband mean SNR (dB) at time t for a transmission
+// at txPowerDBm — path gain plus flat fading. This is what an RSSI-based
+// scheme (the Enhanced 802.11r baseline) effectively measures.
+func (l *Link) MeanSNRDB(t sim.Time, txPowerDBm float64) float64 {
+	return txPowerDBm + l.PathGainDB(t) + l.flatFadeDB(t) - l.params.noiseFloorDBm()
+}
+
+func (l *Link) flatFadeDB(t sim.Time) float64 {
+	if l.params.NoFading {
+		return 0
+	}
+	return l.fader.FlatGainDB(t.Seconds())
+}
+
+// RSSIdBm returns the received signal strength at time t for a transmission
+// at txPowerDBm.
+func (l *Link) RSSIdBm(t sim.Time, txPowerDBm float64) float64 {
+	return txPowerDBm + l.PathGainDB(t) + l.flatFadeDB(t)
+}
+
+// NoiseFloorDBm exposes the link's receiver noise floor.
+func (l *Link) NoiseFloorDBm() float64 { return l.params.noiseFloorDBm() }

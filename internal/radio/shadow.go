@@ -1,0 +1,59 @@
+package radio
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Shadower produces spatially-correlated log-normal shadowing for one link:
+// the slow, meters-scale gain variation caused by buildings, poles, and
+// parked cars that a vehicle drives through. It is the second-scale fading
+// visible in the paper's Fig. 2 on top of the ms-scale multipath component.
+//
+// The process is a sum of spatial sinusoids over the mobile endpoint's
+// along-road position, so it is a pure function of position (hence of time)
+// and correlates over roughly CorrLength meters, after Gudmundson's model.
+type Shadower struct {
+	sigma float64
+	waves []shadowWave
+	norm  float64
+}
+
+type shadowWave struct {
+	k     float64 // spatial angular frequency, rad/m
+	phase float64
+	dirX  float64 // projection direction (cos of wave heading)
+	dirY  float64
+}
+
+// NewShadower builds a shadowing process with standard deviation sigmaDB
+// and correlation length corrM meters.
+func NewShadower(sigmaDB, corrM float64, rnd *rand.Rand) *Shadower {
+	const nWaves = 8
+	s := &Shadower{sigma: sigmaDB, norm: math.Sqrt(2.0 / nWaves)}
+	for i := 0; i < nWaves; i++ {
+		// Wavelengths spread around the correlation length give an
+		// approximately exponential autocorrelation.
+		wl := corrM * (0.5 + 3*rnd.Float64())
+		theta := rnd.Float64() * 2 * math.Pi
+		s.waves = append(s.waves, shadowWave{
+			k:     2 * math.Pi / wl,
+			phase: rnd.Float64() * 2 * math.Pi,
+			dirX:  math.Cos(theta),
+			dirY:  math.Sin(theta),
+		})
+	}
+	return s
+}
+
+// GainDB returns the shadowing gain (zero-mean, in dB) at position (x, y).
+func (s *Shadower) GainDB(x, y float64) float64 {
+	if s == nil {
+		return 0
+	}
+	var sum float64
+	for _, w := range s.waves {
+		sum += math.Cos(w.k*(x*w.dirX+y*w.dirY) + w.phase)
+	}
+	return s.sigma * s.norm * sum
+}

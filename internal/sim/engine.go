@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine is a discrete-event simulator. Events fire in nondecreasing time
+// order; events scheduled for the same instant fire in scheduling order,
+// which keeps runs fully deterministic.
+//
+// Engine is not safe for concurrent use: the entire simulation is
+// single-threaded by design (see DESIGN.md §5), so component code never
+// needs locks.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	nfired uint64
+}
+
+// NewEngine returns an Engine positioned at time zero with an empty queue.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Fired returns the total number of events that have been dispatched.
+func (e *Engine) Fired() uint64 { return e.nfired }
+
+// Timer is a handle to a scheduled event. The zero Timer is invalid; timers
+// are created by Engine.At and Engine.After.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer if it has not fired yet. It reports whether the
+// cancellation prevented the event from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.fn == nil {
+		return false
+	}
+	t.ev.fn = nil // the queue drops cancelled events lazily
+	return true
+}
+
+// Active reports whether the timer is still scheduled to fire.
+func (t *Timer) Active() bool { return t != nil && t.ev != nil && t.ev.fn != nil }
+
+// When returns the virtual time at which the timer fires (or fired).
+func (t *Timer) When() Time {
+	if t == nil || t.ev == nil {
+		return 0
+	}
+	return t.ev.at
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// panics: it always indicates a component bug, and silently reordering time
+// would corrupt every downstream measurement.
+func (e *Engine) At(at Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil function")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (now=%v, at=%v)", e.now, at))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Step dispatches the single next event. It reports false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.fn == nil { // cancelled
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.nfired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil dispatches events with time ≤ deadline and then advances the
+// clock to exactly deadline. Events scheduled after deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	for {
+		ev := e.queue.peek()
+		if ev == nil || ev.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// event is a single queue entry. fn == nil marks a cancelled or consumed
+// event.
+type event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int
+}
+
+// eventQueue is a binary min-heap ordered by (time, insertion sequence).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+func (q eventQueue) peek() *event {
+	if len(q) == 0 {
+		return nil
+	}
+	return q[0]
+}

@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1e9 {
+		t.Fatalf("Second = %d, want 1e9", int64(Second))
+	}
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Errorf("Seconds() = %v, want 2.5", got)
+	}
+	if got := (3 * Millisecond).Milliseconds(); got != 3 {
+		t.Errorf("Milliseconds() = %v, want 3", got)
+	}
+	if got := (7 * Microsecond).Microseconds(); got != 7 {
+		t.Errorf("Microseconds() = %v, want 7", got)
+	}
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v, want 1.5s", got)
+	}
+	if got := FromDuration(2 * time.Millisecond); got != 2*Millisecond {
+		t.Errorf("FromDuration = %v, want 2ms", got)
+	}
+	if got := (42 * Millisecond).Duration(); got != 42*time.Millisecond {
+		t.Errorf("Duration() = %v, want 42ms", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{2 * Second, "2s"},
+		{12500 * Microsecond, "12.5ms"},
+		{3 * Microsecond, "3us"},
+		{17, "17ns"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30*Millisecond, func() { order = append(order, 3) })
+	e.At(10*Millisecond, func() { order = append(order, 1) })
+	e.At(20*Millisecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if e.Now() != 30*Millisecond {
+		t.Errorf("Now() = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEngineSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Millisecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.At(Millisecond, func() {
+		times = append(times, e.Now())
+		e.After(2*Millisecond, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != Millisecond || times[1] != 3*Millisecond {
+		t.Fatalf("nested scheduling times = %v", times)
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5*Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past did not panic")
+			}
+		}()
+		e.At(Millisecond, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNilFnPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil fn did not panic")
+		}
+	}()
+	e.At(0, nil)
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-Millisecond, func() {})
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.At(Millisecond, func() { fired = true })
+	if !tm.Active() {
+		t.Error("timer should be active before firing")
+	}
+	if !tm.Stop() {
+		t.Error("Stop() should report true on an active timer")
+	}
+	if tm.Stop() {
+		t.Error("second Stop() should report false")
+	}
+	e.Run()
+	if fired {
+		t.Error("stopped timer fired")
+	}
+	if tm.Active() {
+		t.Error("stopped timer should not be active")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	e := NewEngine()
+	tm := e.At(Millisecond, func() {})
+	e.Run()
+	if tm.Active() {
+		t.Error("fired timer should be inactive")
+	}
+	if tm.Stop() {
+		t.Error("Stop() after fire should report false")
+	}
+	if tm.When() != Millisecond {
+		t.Errorf("When() = %v, want 1ms", tm.When())
+	}
+}
+
+func TestNilTimer(t *testing.T) {
+	var tm *Timer
+	if tm.Stop() || tm.Active() || tm.When() != 0 {
+		t.Error("nil timer should be inert")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{Millisecond, 2 * Millisecond, 5 * Millisecond} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(3 * Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events before deadline, want 2", len(fired))
+	}
+	if e.Now() != 3*Millisecond {
+		t.Errorf("Now() = %v, want exactly the deadline", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 3 {
+		t.Errorf("remaining event did not fire after deadline")
+	}
+}
+
+func TestEngineStepEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step() on empty queue should report false")
+	}
+}
+
+func TestEngineFiredCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i)*Millisecond, func() {})
+	}
+	tm := e.At(10*Millisecond, func() {})
+	tm.Stop()
+	e.Run()
+	if e.Fired() != 5 {
+		t.Errorf("Fired() = %d, want 5 (cancelled events don't count)", e.Fired())
+	}
+}
+
+// Property: for any set of (bounded, non-negative) event offsets, the engine
+// dispatches them in sorted order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, off := range offsets {
+			at := Time(off) * Microsecond
+			e.At(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42).Stream("fading/ap1")
+	b := NewRNG(42).Stream("fading/ap1")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same (seed, name) produced different streams")
+		}
+	}
+}
+
+func TestRNGIndependentStreams(t *testing.T) {
+	r := NewRNG(42)
+	a := r.Stream("fading/ap1")
+	b := r.Stream("fading/ap2")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams with different names coincided %d/100 times", same)
+	}
+}
+
+func TestRNGSeedMatters(t *testing.T) {
+	a := NewRNG(1).Stream("x")
+	b := NewRNG(2).Stream("x")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds coincided %d/100 times", same)
+	}
+}
+
+func TestRayleighMoments(t *testing.T) {
+	rnd := NewRNG(7).Stream("rayleigh")
+	const sigma = 2.0
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += Rayleigh(rnd, sigma)
+	}
+	mean := sum / n
+	want := sigma * 1.2533141373155003 // σ√(π/2)
+	if diff := mean - want; diff > 0.02 || diff < -0.02 {
+		t.Errorf("Rayleigh mean = %v, want %v", mean, want)
+	}
+}

@@ -1,0 +1,30 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"wgtt/internal/sim"
+	"wgtt/internal/stats"
+)
+
+// CDFs back every distribution the evaluation reports (Figs. 16 and 24).
+func ExampleCDF() {
+	c := &stats.CDF{}
+	for i := 1; i <= 100; i++ {
+		c.Add(float64(i))
+	}
+	fmt.Printf("p50=%.1f p90=%.1f\n", c.Quantile(0.5), c.Quantile(0.9))
+	// Output:
+	// p50=50.5 p90=90.1
+}
+
+// ThroughputSeries turns delivery events into the 100 ms-binned curves of
+// Figs. 14–15.
+func ExampleThroughputSeries() {
+	ts := stats.NewThroughputSeries(100 * sim.Millisecond)
+	ts.Add(20*sim.Millisecond, 125_000)  // 1 Mbit in bin 0
+	ts.Add(150*sim.Millisecond, 250_000) // 2 Mbit in bin 1
+	fmt.Println(ts.Mbps())
+	// Output:
+	// [10 20]
+}
