@@ -1,0 +1,34 @@
+# Tier-1 gate: everything `make check` runs must pass before a change
+# lands. `race` covers the concurrency-bearing packages (the fleet worker
+# pool, the parallel experiment registry, shared trace recorders, and the
+# stats merging they feed).
+
+GO ?= go
+
+RACE_PKGS = ./internal/fleet ./internal/eval ./internal/trace ./internal/stats
+
+.PHONY: check vet build test race fleet-determinism
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Slow (minutes): the CLI-level determinism check from the fleet engine's
+# acceptance criteria — 32 cells, 1 worker vs 8 workers, byte-identical
+# stdout. The in-repo unit test covers the same invariant on a small fleet.
+fleet-determinism:
+	$(GO) build -o /tmp/wgtt-fleet ./cmd/wgtt-fleet
+	/tmp/wgtt-fleet -cells 32 -seed 7 -workers 1 2>/dev/null > /tmp/fleet-w1.txt
+	/tmp/wgtt-fleet -cells 32 -seed 7 -workers 8 2>/dev/null > /tmp/fleet-w8.txt
+	cmp /tmp/fleet-w1.txt /tmp/fleet-w8.txt
+	@echo fleet reports byte-identical

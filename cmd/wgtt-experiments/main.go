@@ -1,12 +1,15 @@
 // Command wgtt-experiments regenerates every table and figure from the
 // paper's evaluation on the simulated substrate (see DESIGN.md for the
 // experiment index and EXPERIMENTS.md for recorded paper-vs-measured
-// comparisons).
+// comparisons). Experiments run concurrently across a worker pool; output
+// is always printed in registry order, so -workers never changes what you
+// see, only how long you wait.
 //
 // Usage:
 //
 //	wgtt-experiments                # run everything (takes minutes)
 //	wgtt-experiments -quick         # trimmed sweeps
+//	wgtt-experiments -workers 8     # parallel regeneration
 //	wgtt-experiments fig13 table2   # run selected artifacts
 //	wgtt-experiments -list
 package main
@@ -15,47 +18,43 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"runtime"
 
 	"wgtt/internal/eval"
 )
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "trimmed sweeps")
-		list  = flag.Bool("list", false, "list experiment IDs")
-		seed  = flag.Uint64("seed", 2017, "base seed")
+		quick   = flag.Bool("quick", false, "trimmed sweeps")
+		list    = flag.Bool("list", false, "list experiment IDs")
+		seed    = flag.Uint64("seed", 2017, "base seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiments")
 	)
 	flag.Parse()
 
-	exps := eval.Experiments()
 	if *list {
-		for _, e := range exps {
+		for _, e := range eval.Experiments() {
 			fmt.Printf("%-16s %s\n", e.ID, e.Title)
 		}
 		return
 	}
-	want := map[string]bool{}
-	for _, a := range flag.Args() {
-		want[a] = true
-	}
 	opt := eval.Options{Seed: *seed, Quick: *quick}
+	outs, err := eval.RunAll(opt, *workers, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	failed := 0
-	for _, e := range exps {
-		if len(want) > 0 && !want[e.ID] {
-			continue
-		}
-		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
-		start := time.Now()
-		res, err := e.Run(opt)
-		if err != nil {
-			fmt.Printf("ERROR: %v\n\n", err)
+	for _, o := range outs {
+		fmt.Printf("==== %s: %s ====\n", o.ID, o.Title)
+		if o.Err != nil {
+			fmt.Printf("ERROR: %v\n\n", o.Err)
 			failed++
 			continue
 		}
-		fmt.Print(res.Render())
-		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		fmt.Print(o.Text)
+		fmt.Printf("(%.1fs)\n\n", o.Elapsed.Seconds())
 	}
 	if failed > 0 {
 		os.Exit(1)

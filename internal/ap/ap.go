@@ -153,6 +153,10 @@ type AP struct {
 	// OnFrameTx, if set, observes every data frame this AP puts on the air
 	// (evaluation hook for link bit-rate distributions, Figs. 15–16).
 	OnFrameTx func(rateMbps float64, mpdus int, at sim.Time)
+	// DebugSwitch, if set, traces switching anomalies (stale stops, cursor
+	// rewinds). Per-AP rather than package-wide so concurrent simulations
+	// (fleet cells, parallel experiments) never share mutable state.
+	DebugSwitch func(what string, switchID uint32, k uint16)
 }
 
 // New creates an AP, wiring it to the backhaul and its MAC station. The
@@ -332,8 +336,8 @@ func (a *AP) handleStop(m *packet.Stop) {
 	if !cs.serving {
 		// Duplicate stop (controller timeout retransmission): still answer
 		// with the current position so the protocol converges.
-		if debugSwitch != nil {
-			debugSwitch(a.cfg.ID, "stale-stop", m.SwitchID, k)
+		if a.DebugSwitch != nil {
+			a.DebugSwitch("stale-stop", m.SwitchID, k)
 		}
 		a.sendStart(m, k)
 		return
@@ -356,15 +360,6 @@ func (a *AP) sendStart(m *packet.Stop, k uint16) {
 	}
 }
 
-// debugSwitch, when set, traces switching anomalies (test/debug hook).
-var debugSwitch func(apID int, what string, switchID uint32, k uint16)
-
-// SetDebugSwitch installs a package-wide switching-anomaly tracer (debug
-// tooling only; not safe to set while a simulation runs).
-func SetDebugSwitch(fn func(apID int, what string, switchID uint32, k uint16)) {
-	debugSwitch = fn
-}
-
 // handleStart is step (3) at the new AP: jump the cyclic-queue cursor to k,
 // take over transmission, and ack the controller.
 func (a *AP) handleStart(m *packet.Start) {
@@ -380,8 +375,8 @@ func (a *AP) handleStart(m *packet.Start) {
 		if back := packet.IndexDist(m.Index, cs.nextSend); back != 0 && back < 2048 {
 			a.Stats.StartRewinds++
 			a.Stats.RewindDepth += uint64(back)
-			if debugSwitch != nil {
-				debugSwitch(a.cfg.ID, "rewind", m.SwitchID, m.Index)
+			if a.DebugSwitch != nil {
+				a.DebugSwitch("rewind", m.SwitchID, m.Index)
 			}
 		}
 	}

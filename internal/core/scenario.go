@@ -75,7 +75,7 @@ type Scenario struct {
 	StopProcessing  sim.Time
 	StartProcessing sim.Time
 	// KeepaliveInterval paces the clients' null-data CSI probes
-	// (default 10 ms; < 0 disables them).
+	// (default 5 ms, matching DESIGN.md §6; < 0 disables them).
 	KeepaliveInterval sim.Time
 
 	// OmniAPs replaces the parabolic antennas with small-cell

@@ -281,3 +281,34 @@ func TestExtScaleRender(t *testing.T) {
 		t.Error("render malformed")
 	}
 }
+
+func TestRunAllParallelMatchesRegistryOrder(t *testing.T) {
+	// Two cheap artifacts, two workers: outputs must come back in registry
+	// order (fig2 precedes table3) with identical text to a serial run.
+	ids := []string{"table3", "fig2"} // deliberately not registry order
+	par, err := RunAll(QuickOptions(), 2, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := RunAll(QuickOptions(), 1, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != 2 || par[0].ID != "fig2" || par[1].ID != "table3" {
+		t.Fatalf("registry order not preserved: %q, %q", par[0].ID, par[1].ID)
+	}
+	for i := range par {
+		if par[i].Err != nil {
+			t.Fatalf("%s: %v", par[i].ID, par[i].Err)
+		}
+		if par[i].Text == "" || par[i].Text != ser[i].Text {
+			t.Errorf("%s: parallel text differs from serial", par[i].ID)
+		}
+	}
+}
+
+func TestRunAllRejectsUnknownID(t *testing.T) {
+	if _, err := RunAll(QuickOptions(), 2, []string{"fig2", "nope"}); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}

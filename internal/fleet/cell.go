@@ -1,0 +1,185 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wgtt/internal/core"
+	"wgtt/internal/mobility"
+	"wgtt/internal/sim"
+	"wgtt/internal/trace"
+)
+
+// CellResult is what one corridor cell reports back to the fleet.
+type CellResult struct {
+	Cell     int
+	Seed     uint64
+	Vehicles int
+	TCPFlows int
+	UDPFlows int
+	// DurationS is the cell horizon in seconds.
+	DurationS float64
+
+	// AggMbps is the cell's delivered capacity: all goodput bytes over the
+	// cell horizon (the per-cell capacity budget of the Zhang et al.
+	// kernel-AP measurements, aggregated fleet-wide in the report).
+	AggMbps float64
+	// PerVehicleMbps is each vehicle's goodput over its own transit window.
+	PerVehicleMbps []float64
+	// UDPLoss is the loss fraction of each UDP vehicle's flow.
+	UDPLoss []float64
+	// AccuracyPct is the fraction of oracle samples where the serving AP
+	// was the ESNR-optimal one (Table 2's metric, per cell).
+	AccuracyPct float64
+
+	Switches        uint64
+	StopRetransmits uint64
+	CSIReports      uint64
+	UplinkUnique    uint64
+	UplinkDuplicate uint64
+	// AirtimePct is the primary medium's utilization.
+	AirtimePct float64
+
+	// TraceFile and TraceEvents are set when per-cell tracing is enabled.
+	TraceFile   string
+	TraceEvents int
+}
+
+// RunCell plans, builds, and runs one corridor cell to completion. It is
+// safe to call concurrently for different cells: everything it touches is
+// local to the cell.
+func RunCell(cfg Config, cell int) (CellResult, error) {
+	cfg = cfg.withDefaults()
+	plan := PlanCell(cfg, cell)
+
+	positions := mobility.DenseArray(cfg.APsPerCell, 5, cfg.SpacingM)
+	minX, _ := mobility.ArraySpan(positions)
+	s := core.Scenario{
+		Mode:        core.ModeWGTT,
+		Seed:        plan.Seed,
+		Duration:    plan.Duration,
+		APPositions: positions,
+	}
+	for _, v := range plan.Vehicles {
+		// Arrivals are approaching traffic: each vehicle starts far enough
+		// up the road to cross the corridor entry point exactly at its
+		// arrival time. (Parking waiting vehicles at the entry point would
+		// stack them at one coordinate, where they act as zero-distance
+		// disturbers and kill the entering vehicle's link.)
+		speedMS := mobility.MPH(v.SpeedMPH)
+		drive := &mobility.LinearDrive{
+			Start: mobility.Point{
+				X: minX - cfg.MarginM - speedMS*v.Arrival.Seconds(),
+				Y: mobility.LaneY,
+			},
+			Vel: mobility.Point{X: speedMS},
+		}
+		s.Clients = append(s.Clients, core.ClientSpec{Trace: drive, SpeedMPH: v.SpeedMPH})
+	}
+	n, err := core.Build(s)
+	if err != nil {
+		return CellResult{}, fmt.Errorf("fleet: cell %d: %w", cell, err)
+	}
+
+	res := CellResult{
+		Cell:      cell,
+		Seed:      plan.Seed,
+		Vehicles:  len(plan.Vehicles),
+		DurationS: plan.Duration.Seconds(),
+	}
+
+	// Attach each vehicle's workload, starting when the vehicle enters.
+	type flowTap struct {
+		bytes  func() uint64
+		window sim.Time
+		loss   func() float64 // nil for TCP
+	}
+	taps := make([]flowTap, len(plan.Vehicles))
+	for i, v := range plan.Vehicles {
+		window := plan.Duration - v.Arrival
+		if v.TCP {
+			f := n.AddDownlinkTCP(i, 0, nil)
+			res.TCPFlows++
+			taps[i] = flowTap{bytes: func() uint64 { return f.Receiver.DeliveredBytes }, window: window}
+			n.Eng.At(v.Arrival, f.Sender.Start)
+		} else {
+			f := n.AddDownlinkUDP(i, cfg.UDPRateMbps, 1400)
+			res.UDPFlows++
+			taps[i] = flowTap{
+				bytes:  func() uint64 { return f.Receiver.Bytes },
+				window: window,
+				loss:   f.Receiver.LossRate,
+			}
+			n.Eng.At(v.Arrival, f.Sender.Start)
+		}
+	}
+
+	// Switching-accuracy oracle: sample every vehicle against the
+	// ground-truth best-ESNR AP (Table 2's methodology, fleet-wide).
+	match, total := 0, 0
+	n.Every(cfg.SamplePeriod, func(at sim.Time) {
+		for ci := range n.Clients {
+			best, bestE := n.BestESNRAP(ci, at)
+			if bestE < 0 {
+				continue // out of everyone's range: no meaningful optimum
+			}
+			total++
+			if n.ServingAP(ci) == best {
+				match++
+			}
+		}
+	})
+
+	var rec *trace.Recorder
+	var traceFile *os.File
+	if cfg.TraceDir != "" {
+		path := filepath.Join(cfg.TraceDir, fmt.Sprintf("cell-%04d.jsonl", cell))
+		traceFile, err = os.Create(path)
+		if err != nil {
+			return CellResult{}, fmt.Errorf("fleet: cell %d trace: %w", cell, err)
+		}
+		defer traceFile.Close()
+		rec = trace.NewRecorder(traceFile)
+		n.AttachRecorder(rec)
+		res.TraceFile = path
+	}
+
+	n.Run()
+
+	var totalBytes uint64
+	for _, tap := range taps {
+		b := tap.bytes()
+		totalBytes += b
+		mbps := 0.0
+		if tap.window > 0 {
+			mbps = float64(b) * 8 / 1e6 / tap.window.Seconds()
+		}
+		res.PerVehicleMbps = append(res.PerVehicleMbps, mbps)
+		if tap.loss != nil {
+			res.UDPLoss = append(res.UDPLoss, tap.loss())
+		}
+	}
+	if plan.Duration > 0 {
+		res.AggMbps = float64(totalBytes) * 8 / 1e6 / plan.Duration.Seconds()
+	}
+	if total > 0 {
+		res.AccuracyPct = 100 * float64(match) / float64(total)
+	}
+
+	st := n.Ctl.Stats
+	res.Switches = st.SwitchesDone
+	res.StopRetransmits = st.StopRetransmits
+	res.CSIReports = st.CSIReports
+	res.UplinkUnique = st.UplinkUnique
+	res.UplinkDuplicate = st.UplinkDuplicate
+	res.AirtimePct = 100 * n.Medium.Utilization()
+
+	if rec != nil {
+		if err := rec.Flush(); err != nil {
+			return CellResult{}, fmt.Errorf("fleet: cell %d trace: %w", cell, err)
+		}
+		res.TraceEvents = rec.N
+	}
+	return res, nil
+}

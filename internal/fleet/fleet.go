@@ -1,0 +1,180 @@
+// Package fleet deploys many independent WGTT corridor cells — the §7
+// "large area deployment" question taken to a transit-network scale. Each
+// cell is a complete, isolated simulation (its own sim.Engine, radio
+// channel, APs, controller, and vehicles, assembled via core.Build); the
+// fleet engine schedules cells across a bounded worker pool and merges the
+// per-cell results into one deployment report.
+//
+// Determinism contract: every per-cell quantity is derived from the pair
+// (fleet seed, cell index) alone — the cell's scenario seed, its Poisson
+// vehicle arrivals, the speed and workload of every vehicle. Cells share
+// no mutable state, and results land in a slice slot owned by the cell
+// index, so the aggregate report is byte-identical no matter how many
+// workers run the cells or how the scheduler interleaves them. See
+// DESIGN.md §8.
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"wgtt/internal/mobility"
+	"wgtt/internal/sim"
+)
+
+// Config describes a fleet deployment.
+type Config struct {
+	// Cells is the number of corridor cells to deploy.
+	Cells int
+	// Seed is the fleet master seed; all per-cell randomness derives from
+	// (Seed, cell index).
+	Seed uint64
+	// Workers bounds simulation concurrency (<= 1 runs sequentially).
+	// Worker count never affects results, only wall-clock time.
+	Workers int
+
+	// APsPerCell is the corridor length in APs (default 8, the testbed).
+	APsPerCell int
+	// SpacingM is the AP spacing in meters (default 7.5, Fig. 9's mean).
+	SpacingM float64
+	// MarginM is the entry/exit margin around the array (default 10).
+	MarginM float64
+
+	// ArrivalsPerMin is the Poisson vehicle arrival rate per corridor
+	// (default 6). Vehicles arrive over ArrivalWindow; the first vehicle
+	// always arrives at t=0 so no cell is empty.
+	ArrivalsPerMin float64
+	// ArrivalWindow is how long each cell admits vehicles (default 20 s).
+	ArrivalWindow sim.Time
+	// MaxVehicles caps per-cell vehicle count (default 4; simulation cost
+	// grows quadratically with co-channel stations).
+	MaxVehicles int
+	// SpeedsMPH is the speed mix vehicles draw from, uniformly
+	// (default {15, 25, 35}).
+	SpeedsMPH []float64
+	// TCPFraction of vehicles carry a bulk downlink TCP workload; the rest
+	// carry a CBR downlink UDP flow (default 0.5).
+	TCPFraction float64
+	// UDPRateMbps is the offered CBR load of UDP vehicles (default 20).
+	UDPRateMbps float64
+
+	// SamplePeriod paces the switching-accuracy oracle sampling
+	// (default 50 ms).
+	SamplePeriod sim.Time
+
+	// TraceDir, when non-empty, writes one JSONL event trace per cell
+	// (cell-0000.jsonl, …) via internal/trace.
+	TraceDir string
+}
+
+// minHeadwayS is the minimum inter-arrival gap in seconds — the
+// car-following headway that keeps two vehicles from entering the
+// corridor virtually co-located.
+const minHeadwayS = 1.5
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Cells <= 0 {
+		c.Cells = 1
+	}
+	if c.APsPerCell <= 0 {
+		c.APsPerCell = 8
+	}
+	if c.SpacingM <= 0 {
+		c.SpacingM = 7.5
+	}
+	if c.MarginM <= 0 {
+		c.MarginM = 10
+	}
+	if c.ArrivalsPerMin <= 0 {
+		c.ArrivalsPerMin = 6
+	}
+	if c.ArrivalWindow <= 0 {
+		c.ArrivalWindow = 20 * sim.Second
+	}
+	if c.MaxVehicles <= 0 {
+		c.MaxVehicles = 4
+	}
+	if len(c.SpeedsMPH) == 0 {
+		c.SpeedsMPH = []float64{15, 25, 35}
+	}
+	if c.TCPFraction < 0 {
+		c.TCPFraction = 0
+	} else if c.TCPFraction == 0 {
+		c.TCPFraction = 0.5
+	}
+	if c.UDPRateMbps <= 0 {
+		c.UDPRateMbps = 20
+	}
+	if c.SamplePeriod <= 0 {
+		c.SamplePeriod = 50 * sim.Millisecond
+	}
+	return c
+}
+
+// Vehicle is one planned drive through a cell.
+type Vehicle struct {
+	// Arrival is when the vehicle crosses the corridor entry point; it
+	// approaches from up the road at constant speed before that.
+	Arrival sim.Time
+	// SpeedMPH is the vehicle's constant speed.
+	SpeedMPH float64
+	// TCP selects the workload: bulk downlink TCP when true, CBR downlink
+	// UDP otherwise.
+	TCP bool
+}
+
+// CellPlan is everything a cell run is parameterized by. It is a pure
+// function of (fleet seed, cell index) — the heart of the determinism
+// contract.
+type CellPlan struct {
+	Cell     int
+	Seed     uint64 // scenario seed for core.Build
+	Vehicles []Vehicle
+	// Duration is the cell horizon: the last vehicle's exit plus a tail.
+	Duration sim.Time
+}
+
+// PlanCell derives cell's plan from the fleet configuration. Randomness
+// comes from named sim.RNG streams of the fleet seed, so neither worker
+// scheduling nor other cells' draws can perturb it.
+func PlanCell(cfg Config, cell int) CellPlan {
+	cfg = cfg.withDefaults()
+	frng := sim.NewRNG(cfg.Seed)
+	plan := CellPlan{
+		Cell: cell,
+		Seed: frng.Stream(fmt.Sprintf("fleet/cell/%d/seed", cell)).Uint64(),
+	}
+	arr := frng.Stream(fmt.Sprintf("fleet/cell/%d/arrivals", cell))
+	lambda := cfg.ArrivalsPerMin / 60 // arrivals per second
+	transit := func(speedMPH float64) sim.Time {
+		span := float64(cfg.APsPerCell-1) * cfg.SpacingM
+		return sim.FromSeconds((span + 2*cfg.MarginM) / mobility.MPH(speedMPH))
+	}
+	at := sim.Time(0) // first vehicle enters immediately: no empty cells
+	for at <= cfg.ArrivalWindow && len(plan.Vehicles) < cfg.MaxVehicles {
+		v := Vehicle{
+			Arrival:  at,
+			SpeedMPH: cfg.SpeedsMPH[arr.IntN(len(cfg.SpeedsMPH))],
+			TCP:      arr.Float64() < cfg.TCPFraction,
+		}
+		plan.Vehicles = append(plan.Vehicles, v)
+		if exit := v.Arrival + transit(v.SpeedMPH); exit > plan.Duration {
+			plan.Duration = exit
+		}
+		gap := arr.ExpFloat64() / lambda
+		if gap < minHeadwayS {
+			// Real traffic keeps a car-following headway; without it two
+			// Poisson draws can put vehicles virtually on top of each
+			// other at the corridor entrance.
+			gap = minHeadwayS
+		}
+		if math.IsInf(gap, 0) || gap > cfg.ArrivalWindow.Seconds() {
+			// One pathological draw must not stretch the horizon forever.
+			gap = cfg.ArrivalWindow.Seconds()
+		}
+		at += sim.FromSeconds(gap)
+	}
+	plan.Duration += 2 * sim.Second // drain tail, as in the paper's drives
+	return plan
+}

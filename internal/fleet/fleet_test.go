@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"os"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"wgtt/internal/sim"
+	"wgtt/internal/trace"
+)
+
+// testConfig is a deliberately tiny fleet so the determinism test stays
+// fast even under -race: short corridors, fast vehicles, few cells.
+func testConfig(workers int) Config {
+	return Config{
+		Cells:          3,
+		Seed:           7,
+		Workers:        workers,
+		APsPerCell:     4,
+		ArrivalsPerMin: 12,
+		ArrivalWindow:  4 * sim.Second,
+		MaxVehicles:    2,
+		SpeedsMPH:      []float64{35},
+		UDPRateMbps:    15,
+	}
+}
+
+func TestForEachCoversAllOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 100} {
+		const n = 50
+		var hits [n]int32
+		ForEach(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+	ForEach(0, 4, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestPlanCellDeterministicAndIsolated(t *testing.T) {
+	cfg := testConfig(1)
+	a := PlanCell(cfg, 0)
+	b := PlanCell(cfg, 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same (seed, cell) produced different plans:\n%+v\n%+v", a, b)
+	}
+	other := PlanCell(cfg, 1)
+	if other.Seed == a.Seed {
+		t.Error("adjacent cells share a scenario seed")
+	}
+	if len(a.Vehicles) == 0 || a.Vehicles[0].Arrival != 0 {
+		t.Fatalf("first vehicle must arrive at t=0: %+v", a.Vehicles)
+	}
+	if len(a.Vehicles) > cfg.MaxVehicles {
+		t.Errorf("vehicle cap violated: %d", len(a.Vehicles))
+	}
+	// The plan must not depend on the worker knob.
+	cfg8 := cfg
+	cfg8.Workers = 8
+	if c := PlanCell(cfg8, 0); !reflect.DeepEqual(a, c) {
+		t.Error("worker count leaked into the cell plan")
+	}
+}
+
+func TestPlanCellSeedChangesEverything(t *testing.T) {
+	cfg := testConfig(1)
+	a := PlanCell(cfg, 0)
+	cfg.Seed = 8
+	b := PlanCell(cfg, 0)
+	if a.Seed == b.Seed {
+		t.Error("fleet seed does not reach cell seeds")
+	}
+}
+
+// TestFleetDeterministicAcrossWorkers is the acceptance check: a fleet run
+// with 1 worker and with 4 workers must render byte-identical reports.
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	serial, err := Run(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := serial.Render(), parallel.Render()
+	if a != b {
+		t.Fatalf("reports differ across worker counts:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", a, b)
+	}
+	// And the run must have actually exercised the system.
+	var vehicles int
+	var switches uint64
+	for _, c := range serial.Cells {
+		vehicles += c.Vehicles
+		switches += c.Switches
+		if c.AggMbps <= 0 {
+			t.Errorf("cell %d delivered nothing", c.Cell)
+		}
+	}
+	if vehicles < 3 {
+		t.Errorf("only %d vehicles fleet-wide", vehicles)
+	}
+	if switches == 0 {
+		t.Error("no switches anywhere in the fleet")
+	}
+}
+
+func TestCellTraceRoundTrip(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Cells = 1
+	cfg.TraceDir = t.TempDir()
+	res, err := RunCell(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceEvents == 0 || res.TraceFile == "" {
+		t.Fatalf("no trace emitted: %+v", res)
+	}
+	f, err := os.Open(res.TraceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := trace.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != res.TraceEvents {
+		t.Fatalf("file has %d events, recorder counted %d", len(evs), res.TraceEvents)
+	}
+	kinds := map[trace.Kind]int{}
+	for _, ev := range evs {
+		kinds[ev.Kind]++
+	}
+	for _, want := range []trace.Kind{trace.KindDeliver, trace.KindFrameTx, trace.KindSwitch} {
+		if kinds[want] == 0 {
+			t.Errorf("trace has no %q events", want)
+		}
+	}
+}
+
+func TestRunPropagatesCellError(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Cells = 1
+	cfg.TraceDir = "/nonexistent/fleet-trace-dir"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unwritable trace dir did not fail the run")
+	}
+}

@@ -1,0 +1,42 @@
+package fleet
+
+import "sync"
+
+// ForEach runs fn(i) for every i in [0, n) across a bounded pool of
+// workers goroutines. With workers <= 1 it degenerates to a plain
+// sequential loop on the calling goroutine, so single-worker runs have no
+// scheduling at all. fn must write any output it produces into a slot that
+// is private to its index (e.g. results[i]): that is what makes the
+// combined output independent of worker count and interleaving.
+//
+// ForEach returns once every fn call has returned.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

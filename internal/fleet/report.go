@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"wgtt/internal/stats"
+)
+
+// Result is a completed fleet deployment.
+type Result struct {
+	Cfg   Config
+	Cells []CellResult
+}
+
+// Run deploys cfg.Cells corridor cells across cfg.Workers workers and
+// returns the merged result. Cell i's outcome depends only on (cfg, i), and
+// cells are aggregated in index order, so the result — and its rendered
+// report — is identical for every worker count.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	cells := make([]CellResult, cfg.Cells)
+	errs := make([]error, cfg.Cells)
+	ForEach(cfg.Cells, cfg.Workers, func(i int) {
+		cells[i], errs[i] = RunCell(cfg, i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Cfg: cfg, Cells: cells}, nil
+}
+
+// Render produces the deployment report. It must stay a pure function of
+// the cell results (no wall-clock, no worker count) to preserve the
+// byte-identical-report determinism contract.
+func (r *Result) Render() string {
+	var b strings.Builder
+
+	// Fleet-wide distributions, merged from per-cell CDFs in cell order.
+	vehicleMbps := &stats.CDF{}
+	cellMbps := &stats.CDF{}
+	accuracy := &stats.CDF{}
+	udpLoss := &stats.CDF{}
+	var vehicles, tcp, udp int
+	var capacity float64
+	var switches, stopRtx, upUnique, upDup uint64
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		per := &stats.CDF{}
+		per.AddAll(c.PerVehicleMbps)
+		vehicleMbps.Merge(per)
+		loss := &stats.CDF{}
+		loss.AddAll(c.UDPLoss)
+		udpLoss.Merge(loss)
+		cellMbps.Add(c.AggMbps)
+		accuracy.Add(c.AccuracyPct)
+		vehicles += c.Vehicles
+		tcp += c.TCPFlows
+		udp += c.UDPFlows
+		capacity += c.AggMbps
+		switches += c.Switches
+		stopRtx += c.StopRetransmits
+		upUnique += c.UplinkUnique
+		upDup += c.UplinkDuplicate
+	}
+
+	fmt.Fprintf(&b, "WGTT fleet deployment report\n")
+	fmt.Fprintf(&b, "cells %d  aps/cell %d  spacing %.1f m  fleet seed %d\n",
+		len(r.Cells), r.Cfg.APsPerCell, r.Cfg.SpacingM, r.Cfg.Seed)
+	fmt.Fprintf(&b, "vehicles %d (tcp %d / udp %d)  offered udp %.0f Mb/s\n",
+		vehicles, tcp, udp, r.Cfg.UDPRateMbps)
+	fmt.Fprintf(&b, "fleet capacity %.2f Mb/s delivered (mean %.2f Mb/s per cell)\n",
+		capacity, capacity/float64(len(r.Cells)))
+	fmt.Fprintf(&b, "switching %d completed (%d stop retransmissions), accuracy mean %.1f%%\n",
+		switches, stopRtx, accuracy.Mean())
+	fmt.Fprintf(&b, "uplink %d unique / %d duplicate packets\n\n", upUnique, upDup)
+
+	b.WriteString("Per-cell capacity\n")
+	t := &stats.Table{Header: []string{
+		"cell", "seed", "veh", "Mb/s", "acc%", "switches", "stop-rtx", "airtime%"}}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		t.AddRow(fmt.Sprintf("%d", c.Cell), fmt.Sprintf("%016x", c.Seed),
+			fmt.Sprintf("%d", c.Vehicles), stats.F(c.AggMbps), stats.F(c.AccuracyPct),
+			fmt.Sprintf("%d", c.Switches), fmt.Sprintf("%d", c.StopRetransmits),
+			stats.F(c.AirtimePct))
+	}
+	b.WriteString(t.String())
+	b.WriteString("\n")
+
+	b.WriteString("Merged distributions\n")
+	d := &stats.Table{Header: []string{"metric", "n", "p5", "p25", "p50", "p75", "p95", "max"}}
+	row := func(name string, c *stats.CDF) {
+		qs := stats.Quantiles(c, 0.05, 0.25, 0.50, 0.75, 0.95, 1)
+		cells := []string{name, fmt.Sprintf("%d", c.N())}
+		for _, q := range qs {
+			cells = append(cells, stats.F(q))
+		}
+		d.AddRow(cells...)
+	}
+	row("vehicle goodput (Mb/s)", vehicleMbps)
+	row("cell capacity (Mb/s)", cellMbps)
+	row("switch accuracy (%)", accuracy)
+	row("udp loss fraction", udpLoss)
+	b.WriteString(d.String())
+	return b.String()
+}

@@ -85,6 +85,25 @@ func (c *CDF) AddAll(vs []float64) {
 // N returns the sample count.
 func (c *CDF) N() int { return len(c.samples) }
 
+// Merge folds another distribution's samples into c — how fleet-level
+// CDFs are built from per-cell ones. The other CDF is not modified.
+func (c *CDF) Merge(o *CDF) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	c.samples = append(c.samples, o.samples...)
+	c.sorted = false
+}
+
+// Quantiles evaluates several quantiles at once (report rows).
+func Quantiles(c *CDF, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = c.Quantile(q)
+	}
+	return out
+}
+
 func (c *CDF) ensure() {
 	if !c.sorted {
 		sort.Float64s(c.samples)

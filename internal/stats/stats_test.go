@@ -124,3 +124,41 @@ func TestTableRender(t *testing.T) {
 		t.Errorf("table has %d lines", len(lines))
 	}
 }
+
+func TestCDFMerge(t *testing.T) {
+	a, b := &CDF{}, &CDF{}
+	a.AddAll([]float64{1, 3, 5})
+	b.AddAll([]float64{2, 4})
+	a.Merge(b)
+	if a.N() != 5 {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	if a.Quantile(0) != 1 || a.Quantile(1) != 5 || a.Quantile(0.5) != 3 {
+		t.Errorf("merged quantiles wrong: %v %v %v",
+			a.Quantile(0), a.Quantile(0.5), a.Quantile(1))
+	}
+	// The source is untouched, and degenerate merges are no-ops.
+	if b.N() != 2 {
+		t.Errorf("Merge mutated its argument: N=%d", b.N())
+	}
+	a.Merge(nil)
+	a.Merge(&CDF{})
+	if a.N() != 5 {
+		t.Errorf("degenerate merge changed N: %d", a.N())
+	}
+}
+
+func TestQuantilesBatch(t *testing.T) {
+	c := &CDF{}
+	c.AddAll([]float64{10, 20, 30, 40})
+	got := Quantiles(c, 0, 0.5, 1)
+	want := []float64{10, 25, 40}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Quantiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if qs := Quantiles(&CDF{}, 0.5); !math.IsNaN(qs[0]) {
+		t.Error("empty CDF quantile should be NaN")
+	}
+}

@@ -8,9 +8,11 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 
 	"wgtt/internal/sim"
 )
@@ -48,9 +50,13 @@ type Event struct {
 	DurNS    int64   `json:"dur_ns,omitempty"`
 }
 
-// Recorder writes events as JSON lines. It is single-goroutine, like the
-// simulator itself.
+// Recorder writes events as JSON lines. Each simulated cell is still
+// single-goroutine, but fleet deployments run many cells concurrently, so
+// Log and Flush serialize internally: a Recorder may be shared across
+// goroutines. Read N and Err only after the writers have quiesced (Flush
+// establishes that point for a single writer).
 type Recorder struct {
+	mu  sync.Mutex
 	bw  *bufio.Writer
 	enc *json.Encoder
 	// Filter, if set, drops events it returns false for.
@@ -69,6 +75,8 @@ func NewRecorder(w io.Writer) *Recorder {
 
 // Log records one event.
 func (r *Recorder) Log(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.Err != nil {
 		return
 	}
@@ -84,10 +92,34 @@ func (r *Recorder) Log(ev Event) {
 
 // Flush drains buffered output; call once the run ends.
 func (r *Recorder) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.Err != nil {
 		return r.Err
 	}
 	return r.bw.Flush()
+}
+
+// ReadAll decodes a JSONL event stream written by a Recorder — the
+// round-trip half for tools (and tests) that post-process traces.
+func ReadAll(rd io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(rd)
+	var out []Event
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return out, fmt.Errorf("trace: line %d: %w", len(out)+1, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
 }
 
 // At converts a sim time for an Event.

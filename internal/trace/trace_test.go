@@ -3,7 +3,9 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"wgtt/internal/sim"
@@ -39,6 +41,82 @@ func TestRecorderFilter(t *testing.T) {
 	_ = r.Flush()
 	if r.N != 1 {
 		t.Errorf("N = %d, want 1", r.N)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := []Event{
+		{AtNS: At(3 * sim.Millisecond), Kind: KindDeliver, Node: "ap1",
+			Client: "02:c1:00:00:00:01", Bytes: 1400, Seq: 17, Index: 42, FlowID: 1},
+		{AtNS: At(4 * sim.Millisecond), Kind: KindFrameTx, Node: "ap1",
+			RateMbps: 65, MPDUs: 12},
+		{AtNS: At(5 * sim.Millisecond), Kind: KindSwitch, Node: "controller",
+			FromAP: 2, ToAP: 3, DurNS: int64(18 * sim.Millisecond)},
+		{AtNS: At(6 * sim.Millisecond), Kind: KindUplink, Node: "controller",
+			Bytes: 1000, Seq: 9, FlowID: 2},
+	}
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	for _, ev := range want {
+		r.Log(ev)
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadAllRejectsGarbage(t *testing.T) {
+	in := strings.NewReader("{\"kind\":\"switch\"}\nnot json\n")
+	evs, err := ReadAll(in)
+	if err == nil {
+		t.Fatal("garbage line not rejected")
+	}
+	if len(evs) != 1 || evs[0].Kind != KindSwitch {
+		t.Errorf("valid prefix not returned: %+v", evs)
+	}
+}
+
+func TestReadAllSkipsBlankLines(t *testing.T) {
+	evs, err := ReadAll(strings.NewReader("\n{\"kind\":\"uplink\"}\n\n"))
+	if err != nil || len(evs) != 1 {
+		t.Fatalf("evs=%v err=%v", evs, err)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	const writers, perWriter = 8, 500
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Log(Event{Kind: KindDeliver, Node: "ap1", Bytes: w*perWriter + i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r.N != writers*perWriter {
+		t.Fatalf("N = %d, want %d", r.N, writers*perWriter)
+	}
+	evs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err) // interleaved writes would corrupt the JSONL framing
+	}
+	if len(evs) != writers*perWriter {
+		t.Fatalf("read %d events, want %d", len(evs), writers*perWriter)
 	}
 }
 
