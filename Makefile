@@ -7,9 +7,9 @@ GO ?= go
 
 RACE_PKGS = ./internal/fleet ./internal/eval ./internal/trace ./internal/stats
 
-.PHONY: check vet build test race fleet-determinism
+.PHONY: check vet build test race bench bench-smoke fleet-determinism
 
-check: vet build test race
+check: vet build test race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +22,24 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Hot-path packages with microbenchmarks and AllocsPerRun assertions.
+BENCH_PKGS = ./internal/sim ./internal/radio ./internal/phy ./internal/csi ./internal/controller
+
+# Fast allocation-regression gate (part of check): every ZeroAlloc
+# assertion plus one iteration of each hot-path microbenchmark, so a
+# steady-state allocation or a broken bench fails tier-1 immediately.
+bench-smoke:
+	$(GO) test -run ZeroAlloc $(BENCH_PKGS)
+	$(GO) test -run '^$$' -bench 'GainsDB|ESNR|Median|Engine|BER' -benchtime 1x -benchmem $(BENCH_PKGS)
+
+# Slow (tens of minutes): the full perf trajectory — every figure/table
+# benchmark from the root bench_test.go plus the hot-path micros — written
+# to BENCH_results.json for future PRs to diff against. wgtt-benchjson
+# echoes progress to stderr and exits nonzero if the run printed FAIL.
+bench:
+	$(GO) build -o /tmp/wgtt-benchjson ./cmd/wgtt-benchjson
+	$(GO) test -run '^$$' -bench . -benchmem -timeout 60m . | /tmp/wgtt-benchjson -o BENCH_results.json
 
 # Slow (minutes): the CLI-level determinism check from the fleet engine's
 # acceptance criteria — 32 cells, 1 worker vs 8 workers, byte-identical

@@ -1,0 +1,132 @@
+// Command wgtt-benchjson converts `go test -bench` text output into a
+// machine-readable JSON report, so `make bench` leaves a perf trajectory
+// (BENCH_results.json) that future changes can be diffed against.
+//
+// It reads benchmark output on stdin, echoes every line to stderr so
+// progress stays visible inside a pipe, and writes the JSON report to the
+// -o path (stdout by default). Benchmark lines follow the standard format:
+//
+//	BenchmarkName-8   1234   987.6 ns/op   12 B/op   1 allocs/op   3.4 extra-metric
+//
+// Every value/unit pair, including b.ReportMetric extras, lands in the
+// benchmark's metrics map keyed by unit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name without the -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the benchmark ran at (1 if unsuffixed).
+	Procs int `json:"procs"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every reported pair (ns/op, B/op,
+	// allocs/op, and any b.ReportMetric custom units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	// Failed records whether the run printed FAIL anywhere.
+	Failed     bool        `json:"failed"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output path for the JSON report (default stdout)")
+	flag.Parse()
+
+	rep := Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		parseLine(&rep, line)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "wgtt-benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wgtt-benchjson: encode: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "wgtt-benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+	if rep.Failed {
+		os.Exit(1)
+	}
+}
+
+func parseLine(rep *Report, line string) {
+	switch {
+	case strings.HasPrefix(line, "goos: "):
+		rep.Goos = strings.TrimPrefix(line, "goos: ")
+		return
+	case strings.HasPrefix(line, "goarch: "):
+		rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		return
+	case strings.HasPrefix(line, "cpu: "):
+		rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		return
+	case strings.HasPrefix(line, "pkg: "):
+		rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		return
+	case strings.HasPrefix(line, "FAIL"), strings.HasPrefix(line, "--- FAIL"):
+		rep.Failed = true
+		return
+	}
+	if !strings.HasPrefix(line, "Benchmark") {
+		return
+	}
+	fields := strings.Fields(line)
+	// name, iterations, then value/unit pairs.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return
+	}
+	b := Benchmark{
+		Name:       strings.TrimPrefix(fields[0], "Benchmark"),
+		Procs:      1,
+		Iterations: iters,
+		Metrics:    make(map[string]float64, (len(fields)-2)/2),
+	}
+	if i := strings.LastIndex(b.Name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	rep.Benchmarks = append(rep.Benchmarks, b)
+}

@@ -21,6 +21,7 @@ import (
 	"runtime"
 
 	"wgtt/internal/eval"
+	"wgtt/internal/profiling"
 )
 
 func main() {
@@ -29,6 +30,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment IDs")
 		seed    = flag.Uint64("seed", 2017, "base seed")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiments")
+		prof    = profiling.AddFlags()
 	)
 	flag.Parse()
 
@@ -38,10 +40,17 @@ func main() {
 		}
 		return
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 	opt := eval.Options{Seed: *seed, Quick: *quick}
 	outs, err := eval.RunAll(opt, *workers, flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		stopProf()
 		os.Exit(1)
 	}
 
@@ -57,6 +66,7 @@ func main() {
 		fmt.Printf("(%.1fs)\n\n", o.Elapsed.Seconds())
 	}
 	if failed > 0 {
+		stopProf()
 		os.Exit(1)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"wgtt/internal/fleet"
+	"wgtt/internal/profiling"
 	"wgtt/internal/sim"
 )
 
@@ -41,17 +42,27 @@ func main() {
 		tcpFrac  = flag.Float64("tcp-frac", 0.5, "fraction of vehicles with TCP workload")
 		udpRate  = flag.Float64("rate", 20, "UDP offered load per vehicle, Mb/s")
 		traceDir = flag.String("trace-dir", "", "write per-cell JSONL event traces here")
+		prof     = profiling.AddFlags()
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	mix, err := parseSpeeds(*speeds)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "speeds:", err)
+		stopProf()
 		os.Exit(1)
 	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "trace-dir:", err)
+			stopProf()
 			os.Exit(1)
 		}
 	}
@@ -74,6 +85,7 @@ func main() {
 	res, err := fleet.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fleet:", err)
+		stopProf()
 		os.Exit(1)
 	}
 	fmt.Print(res.Render())

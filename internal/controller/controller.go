@@ -87,7 +87,7 @@ type switchOp struct {
 	from, to int
 	sentAt   sim.Time
 	attempts int
-	timer    *sim.Timer
+	timer    sim.Timer
 }
 
 // clientCtl is per-client controller state.
@@ -129,6 +129,11 @@ type Controller struct {
 	OnSwitch func(rec SwitchRecord)
 
 	switchSeq uint32
+
+	// snrScratch is the reusable unpack buffer for incoming CSI reports;
+	// the controller runs on the single simulation goroutine, so one
+	// buffer serves every report.
+	snrScratch []float64
 
 	Stats   Stats
 	History []SwitchRecord
@@ -225,7 +230,8 @@ func (c *Controller) handleCSI(m *packet.CSIReport) {
 		return
 	}
 	c.Stats.CSIReports++
-	esnr := csi.ESNRdB(m.SNRdB(), csi.DefaultESNRModulation)
+	c.snrScratch = m.SNRdBInto(c.snrScratch)
+	esnr := csi.ESNRdB(c.snrScratch, csi.DefaultESNRModulation)
 	at := sim.Time(m.At)
 	if now := c.eng.Now(); at > now || at < now-c.cfg.Window {
 		at = now

@@ -14,9 +14,24 @@ import (
 
 // esnrWindow is a time-bounded deque of ESNR readings for one client-AP
 // link: the short-term history E(a) of §3.1.1.
+//
+// Every CSI report triggers a median query (the selection rule re-evaluates
+// on each report), so the window keeps an incrementally maintained sorted
+// copy of the in-window values: push and evict adjust it by binary-search
+// insert/remove (an O(n) memmove over ~100 float64s — a few cache lines),
+// and median is an O(1) index. The historical copy+sort.Float64s per query
+// did the same work at O(n log n) with an allocation per call.
 type esnrWindow struct {
+	// at/val hold the readings in arrival order starting at index head
+	// (entries before head are evicted; compaction keeps the dead prefix
+	// bounded, amortized O(1) per eviction).
 	at   []sim.Time
 	val  []float64
+	head int
+
+	// sorted is the multiset of in-window values in ascending order.
+	sorted []float64
+
 	span sim.Time
 }
 
@@ -26,17 +41,37 @@ func newWindow(span sim.Time) *esnrWindow { return &esnrWindow{span: span} }
 func (w *esnrWindow) push(at sim.Time, esnr float64) {
 	w.at = append(w.at, at)
 	w.val = append(w.val, esnr)
+	w.insertSorted(esnr)
 	w.evict(at)
 }
 
+func (w *esnrWindow) insertSorted(v float64) {
+	i := sort.SearchFloat64s(w.sorted, v)
+	w.sorted = append(w.sorted, 0)
+	copy(w.sorted[i+1:], w.sorted[i:])
+	w.sorted[i] = v
+}
+
+func (w *esnrWindow) removeSorted(v float64) {
+	// v was previously inserted, so the leftmost position with sorted[i] ≥ v
+	// holds exactly v.
+	i := sort.SearchFloat64s(w.sorted, v)
+	w.sorted = append(w.sorted[:i], w.sorted[i+1:]...)
+}
+
 func (w *esnrWindow) evict(now sim.Time) {
-	cut := 0
-	for cut < len(w.at) && w.at[cut] < now-w.span {
-		cut++
+	for w.head < len(w.at) && w.at[w.head] < now-w.span {
+		w.removeSorted(w.val[w.head])
+		w.head++
 	}
-	if cut > 0 {
-		w.at = append(w.at[:0], w.at[cut:]...)
-		w.val = append(w.val[:0], w.val[cut:]...)
+	// Compact once the dead prefix reaches half the slice, so the copy cost
+	// is covered by the evictions that built the prefix.
+	if w.head > 0 && w.head*2 >= len(w.at) {
+		n := copy(w.at, w.at[w.head:])
+		copy(w.val, w.val[w.head:])
+		w.at = w.at[:n]
+		w.val = w.val[:n]
+		w.head = 0
 	}
 }
 
@@ -44,25 +79,22 @@ func (w *esnrWindow) evict(now sim.Time) {
 // window holds any samples as of now.
 func (w *esnrWindow) median(now sim.Time) (float64, bool) {
 	w.evict(now)
-	n := len(w.val)
+	n := len(w.sorted)
 	if n == 0 {
 		return 0, false
 	}
-	scratch := make([]float64, n)
-	copy(scratch, w.val)
-	sort.Float64s(scratch)
 	// The paper indexes the sorted sequence at L/2; for even n this is the
 	// upper median, which we reproduce exactly.
-	return scratch[n/2], true
+	return w.sorted[n/2], true
 }
 
 // lastHeard returns the time of the most recent reading (0, false if none).
 func (w *esnrWindow) lastHeard() (sim.Time, bool) {
-	if len(w.at) == 0 {
+	if w.head == len(w.at) {
 		return 0, false
 	}
 	return w.at[len(w.at)-1], true
 }
 
 // size returns the number of buffered readings.
-func (w *esnrWindow) size() int { return len(w.val) }
+func (w *esnrWindow) size() int { return len(w.at) - w.head }

@@ -1,0 +1,117 @@
+package controller
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"wgtt/internal/sim"
+)
+
+// refWindow is the pre-optimization implementation — slice eviction plus a
+// copy+sort per median — kept as the golden reference for the incremental
+// order-statistic window.
+type refWindow struct {
+	at   []sim.Time
+	val  []float64
+	span sim.Time
+}
+
+func (w *refWindow) push(at sim.Time, esnr float64) {
+	w.at = append(w.at, at)
+	w.val = append(w.val, esnr)
+	w.evict(at)
+}
+
+func (w *refWindow) evict(now sim.Time) {
+	cut := 0
+	for cut < len(w.at) && w.at[cut] < now-w.span {
+		cut++
+	}
+	if cut > 0 {
+		w.at = append(w.at[:0], w.at[cut:]...)
+		w.val = append(w.val[:0], w.val[cut:]...)
+	}
+}
+
+func (w *refWindow) median(now sim.Time) (float64, bool) {
+	w.evict(now)
+	n := len(w.val)
+	if n == 0 {
+		return 0, false
+	}
+	scratch := make([]float64, n)
+	copy(scratch, w.val)
+	sort.Float64s(scratch)
+	return scratch[n/2], true
+}
+
+// The incremental window must agree exactly with the sort-based reference
+// under a randomized schedule of pushes, quiet gaps, and median queries —
+// including windows that fully drain and duplicate values.
+func TestWindowMatchesReference(t *testing.T) {
+	rnd := rand.New(rand.NewPCG(41, 43))
+	span := 10 * sim.Millisecond
+	w := newWindow(span)
+	ref := &refWindow{span: span}
+
+	now := sim.Time(0)
+	for i := 0; i < 20000; i++ {
+		// Mostly dense arrivals; occasionally a gap long enough to drain
+		// the whole window.
+		switch rnd.IntN(20) {
+		case 0:
+			now += sim.Time(rnd.Int64N(int64(3 * span)))
+		default:
+			now += sim.Time(rnd.Int64N(int64(span / 8)))
+		}
+		// Quantized values force duplicates into the multiset.
+		v := float64(rnd.IntN(64)) / 4
+		w.push(now, v)
+		ref.push(now, v)
+
+		if w.size() != len(ref.val) {
+			t.Fatalf("step %d: size %d, reference %d", i, w.size(), len(ref.val))
+		}
+		// Query at a probe time at or after the last push.
+		probe := now + sim.Time(rnd.Int64N(int64(span/4)))
+		gm, gok := w.median(probe)
+		rm, rok := ref.median(probe)
+		if gok != rok || gm != rm {
+			t.Fatalf("step %d: median(%v) = (%v,%v), reference (%v,%v)", i, probe, gm, gok, rm, rok)
+		}
+		if gl, gok := w.lastHeard(); gok {
+			if rl := ref.at[len(ref.at)-1]; gl != rl {
+				t.Fatalf("step %d: lastHeard %v, reference %v", i, gl, rl)
+			}
+		} else if len(ref.at) != 0 {
+			t.Fatalf("step %d: lastHeard empty, reference has %d", i, len(ref.at))
+		}
+	}
+}
+
+// A steady-state push+median cycle must not allocate once the window's
+// buffers have reached their high-water capacity.
+func TestWindowZeroAllocSteadyState(t *testing.T) {
+	span := 10 * sim.Millisecond
+	w := newWindow(span)
+	now := sim.Time(0)
+	step := 100 * sim.Microsecond
+	val := func(i int) float64 { return float64(i%37) / 4 }
+	for i := 0; i < 1024; i++ { // warm to steady size (~100 entries)
+		now += step
+		w.push(now, val(i))
+		w.median(now)
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(500, func() {
+		i++
+		now += step
+		w.push(now, val(i))
+		if _, ok := w.median(now); !ok {
+			t.Fatal("window drained unexpectedly")
+		}
+	}); avg != 0 {
+		t.Errorf("steady-state push+median allocates %.2f times per sample, want 0", avg)
+	}
+}

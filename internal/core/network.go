@@ -57,6 +57,10 @@ type Network struct {
 
 	clientByMAC map[packet.MACAddr]int
 	nextFlow    uint32
+
+	// snrScratch is the reusable per-subcarrier sample buffer for the probe
+	// plane and the ESNR evaluation hooks (single simulation goroutine).
+	snrScratch []float64
 }
 
 // Build assembles a scenario into a Network.
@@ -310,9 +314,11 @@ func (n *Network) startProbePlane() {
 				if err != nil {
 					continue
 				}
-				snr := link.SNRSnapshot(at, cep)
+				n.snrScratch = link.SNRInto(at, cep, n.snrScratch)
+				// The report itself is freshly allocated per send: with wire
+				// verification off the backhaul retains the pointer.
 				rep := &packet.CSIReport{Client: cl.Config().MAC, AP: a.Config().IP, At: int64(at)}
-				rep.QuantizeSNR(snr)
+				rep.QuantizeSNR(n.snrScratch)
 				_ = n.Bh.Send(a.Config().IP, packet.ControllerIP, rep)
 			}
 		}
@@ -410,7 +416,8 @@ func (n *Network) BestESNRAP(clientID int, at sim.Time) (int, float64) {
 		if err != nil {
 			continue
 		}
-		e := csi.ESNRdB(link.SNRSnapshot(at, cep), csi.DefaultESNRModulation)
+		n.snrScratch = link.SNRInto(at, cep, n.snrScratch)
+		e := csi.ESNRdB(n.snrScratch, csi.DefaultESNRModulation)
 		if best == -1 || e > bestESNR {
 			best, bestESNR = i, e
 		}
@@ -426,7 +433,8 @@ func (n *Network) ClientESNR(clientID, apID int, at sim.Time) float64 {
 	if err != nil {
 		return 0
 	}
-	return csi.ESNRdB(link.SNRSnapshot(at, cep), csi.DefaultESNRModulation)
+	n.snrScratch = link.SNRInto(at, cep, n.snrScratch)
+	return csi.ESNRdB(n.snrScratch, csi.DefaultESNRModulation)
 }
 
 // Run advances the simulation to the scenario duration.

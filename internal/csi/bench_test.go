@@ -1,0 +1,45 @@
+package csi
+
+import (
+	"testing"
+
+	"wgtt/internal/phy"
+)
+
+// benchSNR returns a realistic frequency-selective 56-subcarrier snapshot
+// centered on meanDB with a few deep fades.
+func benchSNR(meanDB float64) []float64 {
+	snr := make([]float64, Subcarriers)
+	for i := range snr {
+		snr[i] = meanDB + 6*float64(i%7)/7 - 3
+	}
+	snr[11] = meanDB - 18 // deep fade
+	snr[37] = meanDB - 12
+	return snr
+}
+
+// BenchmarkESNRMid is the ESNR computation at a mid-cell operating point —
+// the per-report cost of the controller's CSI ingest.
+func BenchmarkESNRMid(b *testing.B) {
+	snr := benchSNR(22)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += ESNRdB(snr, phy.QAM64)
+	}
+	_ = sink
+}
+
+// BenchmarkESNRWeak is the same computation at a cell-edge operating point
+// (BERs near saturation), the regime every distant overhearing AP reports.
+func BenchmarkESNRWeak(b *testing.B) {
+	snr := benchSNR(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += ESNRdB(snr, phy.QAM64)
+	}
+	_ = sink
+}

@@ -27,6 +27,10 @@ type Report struct {
 	At     sim.Time // reception time
 	// SNRdB holds the per-subcarrier SNR in dB, Subcarriers entries.
 	SNRdB []float64
+
+	// snrStore inlines the standard 56-entry snapshot so that one Report
+	// allocation covers its SNR storage; Fill aliases SNRdB onto it.
+	snrStore [Subcarriers]float64
 }
 
 // Validate checks structural sanity of a report.
@@ -48,12 +52,19 @@ func (r *Report) Validate() error {
 // Measure samples the link at time t for a transmission from the client
 // endpoint and wraps it in a Report, as the AP NIC would on frame reception.
 func Measure(l *radio.Link, client *radio.Endpoint, ap string, t sim.Time) *Report {
-	return &Report{
-		Client: client.Name,
-		AP:     ap,
-		At:     t,
-		SNRdB:  l.SNRSnapshot(t, client),
-	}
+	r := &Report{}
+	r.Fill(l, client, ap, t)
+	return r
+}
+
+// Fill refills r in place from a fresh link sample, reusing r's inline SNR
+// storage — the allocation-free counterpart of Measure for callers that
+// recycle reports.
+func (r *Report) Fill(l *radio.Link, client *radio.Endpoint, ap string, t sim.Time) {
+	r.Client = client.Name
+	r.AP = ap
+	r.At = t
+	r.SNRdB = l.SNRInto(t, client, r.snrStore[:0])
 }
 
 // DefaultESNRModulation is the constellation the default ESNR metric is
@@ -67,16 +78,19 @@ const DefaultESNRModulation = phy.QAM64
 // curve to find the flat-channel SNR that would produce the same average.
 // Unlike mean SNR or RSSI, this correctly penalizes frequency-selective
 // fades that concentrate errors on a few subcarriers.
+// The whole computation stays in the dB domain: one table lookup per
+// subcarrier (phy.Modulation.BERdB) and one table inversion per report,
+// with no per-subcarrier pow/erfc.
 func ESNRdB(snrDB []float64, m phy.Modulation) float64 {
 	if len(snrDB) == 0 {
 		return math.Inf(-1)
 	}
 	var sum float64
 	for _, s := range snrDB {
-		sum += m.BER(radio.DBToLinear(s))
+		sum += m.BERdB(s)
 	}
 	mean := sum / float64(len(snrDB))
-	return radio.LinearToDB(m.InvBER(mean))
+	return m.InvBERdB(mean)
 }
 
 // ESNRdB returns the report's Effective SNR under the default modulation.

@@ -13,6 +13,7 @@ package mac
 import (
 	"fmt"
 
+	"wgtt/internal/csi"
 	"wgtt/internal/packet"
 	"wgtt/internal/phy"
 	"wgtt/internal/sim"
@@ -148,6 +149,10 @@ type RxEvent struct {
 	// RSSIdBm is the wideband received power — the only channel statistic
 	// an unmodified client (the 802.11r baseline) keys its roaming on.
 	RSSIdBm float64
+
+	// snrStore inlines the standard 56-entry snapshot so one RxEvent
+	// allocation covers its CSI; SNRdB aliases it on the usual geometry.
+	snrStore [csi.Subcarriers]float64
 }
 
 // BAEvent describes a (Block) ACK response observed at a station: by the
@@ -168,4 +173,7 @@ type BAEvent struct {
 	// On a downlink-heavy workload the client's Block ACKs are most of its
 	// uplink airtime, so they are the frames WGTT APs measure CSI on.
 	SNRdB []float64
+
+	// snrStore backs SNRdB inline, as in RxEvent.
+	snrStore [csi.Subcarriers]float64
 }

@@ -27,7 +27,7 @@ type Medium struct {
 
 	busyUntil  sim.Time
 	waiters    []*txAttempt
-	grantTimer *sim.Timer
+	grantTimer sim.Timer
 
 	// CaptureDB is the power margin at which a receiver captures the
 	// strongest of overlapping transmissions instead of losing both.
@@ -159,10 +159,7 @@ func (m *Medium) request(att *txAttempt) {
 
 // arm (re)schedules the next grant for the current waiter set.
 func (m *Medium) arm() {
-	if m.grantTimer != nil {
-		m.grantTimer.Stop()
-		m.grantTimer = nil
-	}
+	m.grantTimer.Stop()
 	if len(m.waiters) == 0 {
 		return
 	}
@@ -182,7 +179,7 @@ func (m *Medium) arm() {
 
 // grant fires when the earliest backoff expires: winners transmit.
 func (m *Medium) grant() {
-	m.grantTimer = nil
+	m.grantTimer = sim.Timer{}
 	if len(m.waiters) == 0 {
 		return
 	}
@@ -256,8 +253,20 @@ func (m *Medium) grant() {
 			if err != nil {
 				continue
 			}
-			snr := link.SNRSnapshot(mid, sender.Endpoint)
-			rssi := link.RSSIdBm(mid, sender.Endpoint.TxPowerDBm)
+			// The event is allocated up front so its inline snrStore can
+			// receive the CSI snapshot: one allocation covers the event and
+			// its 56-entry SNR array.
+			ev := &RxEvent{
+				At:        frameEnd,
+				From:      fr.From,
+				To:        fr.To,
+				Kind:      fr.Kind,
+				MCS:       fr.MCS,
+				Total:     len(fr.MPDUs),
+				Overheard: !owned && fr.To != BroadcastAddr,
+			}
+			ev.SNRdB = link.SNRInto(mid, sender.Endpoint, ev.snrStore[:0])
+			ev.RSSIdBm = link.RSSIdBm(mid, sender.Endpoint.TxPowerDBm)
 
 			lost := false
 			if collision {
@@ -271,29 +280,15 @@ func (m *Medium) grant() {
 
 			// PHY sync is a per-frame event: the preamble either locks or
 			// the whole PPDU is invisible. Payload CRCs then fail per MPDU.
-			synced := false
 			var decoded []*MPDU
 			if !lost {
-				esnr := csi.ESNRdB(snr, phy.Lookup(fr.MCS).Modulation)
-				synced = m.rnd.Float64() >= phy.SyncFailureProb(esnr)
-				if synced {
+				esnr := csi.ESNRdB(ev.SNRdB, phy.Lookup(fr.MCS).Modulation)
+				ev.Synced = m.rnd.Float64() >= phy.SyncFailureProb(esnr)
+				if ev.Synced {
 					decoded = m.decodeMPDUs(fr, esnr)
 				}
 			}
-
-			ev := &RxEvent{
-				At:        frameEnd,
-				From:      fr.From,
-				To:        fr.To,
-				Kind:      fr.Kind,
-				MCS:       fr.MCS,
-				Synced:    synced,
-				Decoded:   decoded,
-				Total:     len(fr.MPDUs),
-				SNRdB:     snr,
-				Overheard: !owned && fr.To != BroadcastAddr,
-				RSSIdBm:   rssi,
-			}
+			ev.Decoded = decoded
 			rxStation := rx
 			m.eng.At(frameEnd, func() { rxStation.deliver(ev) })
 
@@ -462,16 +457,6 @@ func (m *Medium) deliverResponses(responses []respPlan, respMid, respEnd sim.Tim
 		}
 		rp := responses[bestIdx]
 		link, _ := m.ch.Link(rp.responder.Endpoint.Name, rx.Endpoint.Name)
-		snr := link.SNRSnapshot(respMid, rp.responder.Endpoint)
-		// Control responses go out in legacy OFDM at the 24 Mb/s basic rate
-		// — 16-QAM rate ½, i.e. MCS3-grade robustness, not MCS0. This is
-		// why the paper sees Block ACKs "prone to loss" near cell edges
-		// while low-MCS data still gets through (§3.2.1).
-		esnr := csi.ESNRdB(snr, phy.Lookup(basicRateMCS).Modulation)
-		per := phy.PER(basicRateMCS, esnr, phy.BlockAckBytes)
-		if m.rnd.Float64() < per {
-			continue // response lost in the channel
-		}
 		ev := &BAEvent{
 			At:        respEnd,
 			Responder: rp.responder.Addr,
@@ -479,7 +464,16 @@ func (m *Medium) deliverResponses(responses []respPlan, respMid, respEnd sim.Tim
 			SSN:       rp.ssn,
 			Bitmap:    rp.bitmap,
 			Overheard: rp.toward != rx,
-			SNRdB:     snr,
+		}
+		ev.SNRdB = link.SNRInto(respMid, rp.responder.Endpoint, ev.snrStore[:0])
+		// Control responses go out in legacy OFDM at the 24 Mb/s basic rate
+		// — 16-QAM rate ½, i.e. MCS3-grade robustness, not MCS0. This is
+		// why the paper sees Block ACKs "prone to loss" near cell edges
+		// while low-MCS data still gets through (§3.2.1).
+		esnr := csi.ESNRdB(ev.SNRdB, phy.Lookup(basicRateMCS).Modulation)
+		per := phy.PER(basicRateMCS, esnr, phy.BlockAckBytes)
+		if m.rnd.Float64() < per {
+			continue // response lost in the channel
 		}
 		rxStation := rx
 		m.eng.At(respEnd, func() { rxStation.deliverBA(ev) })

@@ -371,12 +371,20 @@ func (c *CSIReport) QuantizeSNR(snrDB []float64) {
 }
 
 // SNRdB unpacks the quantized SNRs back to dB.
-func (c *CSIReport) SNRdB() []float64 {
-	out := make([]float64, CSISubcarriers)
-	for i, q := range c.SNRQ {
-		out[i] = float64(q) / 4
+func (c *CSIReport) SNRdB() []float64 { return c.SNRdBInto(nil) }
+
+// SNRdBInto unpacks the quantized SNRs into dst, reusing its capacity, and
+// returns the filled slice of length CSISubcarriers — the allocation-free
+// counterpart of SNRdB for per-report hot paths.
+func (c *CSIReport) SNRdBInto(dst []float64) []float64 {
+	if cap(dst) < CSISubcarriers {
+		dst = make([]float64, CSISubcarriers)
 	}
-	return out
+	dst = dst[:CSISubcarriers]
+	for i, q := range c.SNRQ {
+		dst[i] = float64(q) / 4
+	}
+	return dst
 }
 
 // BlockAckFwd carries an overheard Block ACK from a monitor-mode AP to the

@@ -1,0 +1,139 @@
+package phy
+
+import "math"
+
+// BER/InvBER lookup tables.
+//
+// Halperin-style Effective SNR evaluates one BER per subcarrier per CSI
+// report and then inverts the BER curve once per report; with the closed
+// forms that is 56 erfc calls plus a 200-iteration bisection (each step
+// another erfc) on every uplink frame at every overhearing AP. The AWGN
+// curves are smooth and monotone in the dB domain, so both directions are
+// served from one precomputed table per modulation:
+//
+//   - forward: BER sampled on a uniform dB grid (berTabMinDB..berTabMaxDB,
+//     berTabStep apart), linearly interpolated. The curve's log-curvature
+//     over one 1/64 dB step bounds the relative error at ~2e-3 deep in the
+//     tail (BER ≈ 1e-15) and far tighter at operating BERs; TestBERTable*
+//     asserts the documented tolerance.
+//   - inverse: a binary search over the same monotone grid followed by the
+//     matching linear interpolation in dB, so InvBER is consistent with the
+//     interpolated forward curve by construction.
+//
+// Outside the grid, and in the near-saturation sliver where the inverse
+// becomes ill-conditioned, the closed forms are used directly — those
+// regimes are links far too dead to matter per-sample.
+const (
+	berTabMinDB = -60.0
+	berTabMaxDB = 60.0
+	berTabStep  = 1.0 / 64
+)
+
+var berTabScale = 1 / berTabStep
+
+// berTable holds the per-modulation dB-domain samples of the closed-form
+// BER curve, plus its endpoints' saturation bookkeeping.
+type berTable struct {
+	ber []float64 // closed-form BER at berTabMinDB + i·berTabStep
+	// satur is the zero-SNR saturation BER (the closed form at 1e-9 linear,
+	// matching InvBER's historical "unreachable" threshold).
+	satur float64
+	// invCut is the BER above which the inverse falls back to bisection:
+	// nearly saturated means linear SNR ≈ 0, where the dB-domain inverse
+	// slope blows up. tab.ber[0] (the −60 dB sample) sits ~4e-5 below
+	// saturation, so the fallback region is vanishingly cold.
+	invCut float64
+}
+
+var berTables [QAM64 + 1]berTable
+
+func init() {
+	n := int(math.Round((berTabMaxDB-berTabMinDB)*berTabScale)) + 1
+	for m := BPSK; m <= QAM64; m++ {
+		tab := berTable{ber: make([]float64, n)}
+		for i := 0; i < n; i++ {
+			db := berTabMinDB + float64(i)*berTabStep
+			tab.ber[i] = m.berClosed(dbToLinear(db))
+		}
+		tab.satur = m.berClosed(1e-9)
+		tab.invCut = tab.ber[0]
+		berTables[m] = tab
+	}
+}
+
+// dbToLinear mirrors radio.DBToLinear without importing radio (phy sits
+// below radio in the package graph).
+func dbToLinear(db float64) float64 { return math.Pow(10, db/10) }
+
+// linearToDB mirrors radio.LinearToDB.
+func linearToDB(lin float64) float64 {
+	if lin <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(lin)
+}
+
+// BERdB returns the modulation's uncoded bit error rate at the given
+// per-symbol SNR in dB — the table-driven fast path the per-subcarrier ESNR
+// loop runs on (no pow/erfc in the hot range).
+func (m Modulation) BERdB(snrDB float64) float64 {
+	if m < BPSK || m > QAM64 {
+		return 0.5
+	}
+	tab := &berTables[m]
+	if snrDB < berTabMinDB {
+		return m.berClosed(dbToLinear(snrDB))
+	}
+	if snrDB >= berTabMaxDB {
+		// Beyond the grid every curve has underflowed to 0 in float64.
+		return 0
+	}
+	pos := (snrDB - berTabMinDB) * berTabScale
+	i := int(pos)
+	t := pos - float64(i)
+	a := tab.ber[i]
+	return a + (tab.ber[i+1]-a)*t
+}
+
+// invBERdB returns the SNR in dB at which the interpolated table attains
+// ber, or NaN when the caller must fall back to the closed form. ber must
+// be in (0, invCut].
+func (m Modulation) invBERdB(ber float64) float64 {
+	tab := &berTables[m]
+	// Binary search the monotone non-increasing grid for the bracketing
+	// pair tab.ber[i] ≥ ber ≥ tab.ber[i+1].
+	lo, hi := 0, len(tab.ber)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if tab.ber[mid] >= ber {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	a, b := tab.ber[lo], tab.ber[hi]
+	var t float64
+	if a > b {
+		t = (a - ber) / (a - b)
+	}
+	return berTabMinDB + (float64(lo)+t)*berTabStep
+}
+
+// invBERBisect is the original closed-form inversion by geometric bisection,
+// kept as the golden reference and as the cold-path fallback near
+// saturation.
+func (m Modulation) invBERBisect(ber float64) float64 {
+	lo, hi := 1e-9, 1e9 // linear SNR bracket: −90 dB … +90 dB
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection: BER is log-linear-ish in dB
+		if m.berClosed(mid) > ber {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi/lo < 1+1e-12 {
+			break
+		}
+	}
+	return math.Sqrt(lo * hi)
+}

@@ -1,0 +1,128 @@
+package phy
+
+import (
+	"math"
+	"testing"
+)
+
+// Documented BER-table tolerances (see bertab.go and DESIGN.md §9): the
+// interpolated forward curve stays within 0.2% relative of the closed form
+// over the physically meaningful range (BER ≥ minBER), and the inverse stays
+// within 0.01 dB of the closed-form bisection. Below minBER the per-step
+// log-curvature grows, so the underflow tail is only held to order-of-
+// magnitude agreement — ESNR inverts the mean BER, which is clamped at
+// minBER, so nothing observable lives down there.
+const (
+	berTabRelTol    = 2e-3
+	berTabTailLog10 = 0.5
+	invBERTolDB     = 0.01
+)
+
+var allMods = []Modulation{BPSK, QPSK, QAM16, QAM64}
+
+// Forward table vs. closed form, swept off-grid across the whole domain.
+func TestBERTableForwardTolerance(t *testing.T) {
+	for _, m := range allMods {
+		for db := -70.0; db <= 70.0; db += 0.00537 {
+			lin := dbToLinear(db)
+			got := m.BER(lin)
+			want := m.berClosed(lin)
+			switch {
+			case want >= minBER:
+				if diff := math.Abs(got - want); diff > berTabRelTol*want {
+					t.Fatalf("%v: BER(%.3f dB) = %g, closed form %g (rel err %.2e)",
+						m, db, got, want, diff/want)
+				}
+			case want >= 1e-300 && got > 0:
+				if d := math.Abs(math.Log10(got / want)); d > berTabTailLog10 {
+					t.Fatalf("%v: BER(%.3f dB) = %g, closed form %g (log10 err %.2f)",
+						m, db, got, want, d)
+				}
+			}
+		}
+	}
+}
+
+// Inverse via tables vs. the 200-iteration bisection, swept log-uniformly
+// over the invertible BER range.
+func TestInvBERTableTolerance(t *testing.T) {
+	for _, m := range allMods {
+		cut := berTables[m].invCut
+		for u := math.Log(minBER); u <= math.Log(cut); u += 0.01 {
+			ber := math.Exp(u)
+			if ber > cut {
+				break
+			}
+			got := m.InvBERdB(ber)
+			want := linearToDB(m.invBERBisect(ber))
+			if diff := math.Abs(got - want); diff > invBERTolDB {
+				t.Fatalf("%v: InvBERdB(%g) = %.5f dB, bisection %.5f dB (err %.4f dB)",
+					m, ber, got, want, diff)
+			}
+		}
+	}
+}
+
+// Round-trip: InvBER(BER(x)) must recover x across the range where the
+// curve is invertible (BER between minBER and saturation).
+func TestInvBERTableRoundTrip(t *testing.T) {
+	for _, m := range allMods {
+		for db := -40.0; db <= 40.0; db += 0.1303 {
+			x := dbToLinear(db)
+			ber := m.berClosed(x)
+			if ber <= minBER || ber >= berTables[m].invCut {
+				continue
+			}
+			back := linearToDB(m.InvBER(ber))
+			if diff := math.Abs(back - db); diff > invBERTolDB {
+				t.Fatalf("%v: InvBER(BER(%.2f dB)) = %.4f dB (err %.4f dB)", m, db, back, diff)
+			}
+		}
+	}
+}
+
+// Boundary semantics preserved from the bisection implementation.
+func TestInvBERBoundaries(t *testing.T) {
+	for _, m := range allMods {
+		if got := m.InvBER(0.5); got != 0 {
+			t.Errorf("%v: InvBER(0.5) = %v, want 0 (saturated)", m, got)
+		}
+		if got := m.InvBER(berTables[m].satur); got != 0 {
+			t.Errorf("%v: InvBER(saturation) = %v, want 0", m, got)
+		}
+		// Sub-minBER values clamp to the minBER ceiling, not +inf.
+		ceiling := m.InvBER(minBER)
+		if got := m.InvBER(minBER / 1e3); got != ceiling {
+			t.Errorf("%v: InvBER below minBER = %v, want ceiling %v", m, got, ceiling)
+		}
+		if ceiling <= 0 || math.IsInf(ceiling, 0) || math.IsNaN(ceiling) {
+			t.Errorf("%v: minBER ceiling = %v, want finite positive", m, ceiling)
+		}
+	}
+}
+
+// BER must stay monotone non-increasing in SNR after tabulation — the
+// property both the inverse search and ESNR's frequency-selectivity penalty
+// rely on.
+func TestBERTableMonotone(t *testing.T) {
+	for _, m := range allMods {
+		prev := math.Inf(1)
+		for db := -70.0; db <= 70.0; db += 0.01 {
+			b := m.BERdB(db)
+			if b > prev+1e-18 {
+				t.Fatalf("%v: BER not monotone at %.2f dB (%g after %g)", m, db, b, prev)
+			}
+			prev = b
+		}
+	}
+}
+
+// The table paths must not allocate.
+func TestBERTableZeroAlloc(t *testing.T) {
+	if avg := testing.AllocsPerRun(200, func() {
+		_ = QAM64.BERdB(17.3)
+		_ = QAM64.InvBERdB(1e-5)
+	}); avg != 0 {
+		t.Errorf("BERdB/InvBERdB allocate %.1f times per call, want 0", avg)
+	}
+}

@@ -59,8 +59,22 @@ func qfunc(x float64) float64 { return 0.5 * math.Erfc(x/math.Sqrt2) }
 // BER returns the uncoded bit error rate of the modulation at the given
 // per-symbol SNR (linear). These are the standard AWGN approximations used
 // by Halperin et al.'s Effective SNR construction, which the paper's AP
-// selection metric is built on.
+// selection metric is built on. Served from the per-modulation dB-domain
+// lookup table (see bertab.go); per-frame code that already has the SNR in
+// dB should call BERdB and skip the conversion round-trip entirely.
 func (m Modulation) BER(snrLinear float64) float64 {
+	if snrLinear <= 0 {
+		return 0.5
+	}
+	if m < BPSK || m > QAM64 {
+		return 0.5
+	}
+	return m.BERdB(linearToDB(snrLinear))
+}
+
+// berClosed is the closed-form AWGN bit error rate — the golden reference
+// the lookup tables are built from, and the fallback outside their domain.
+func (m Modulation) berClosed(snrLinear float64) float64 {
 	if snrLinear <= 0 {
 		return 0.5
 	}
@@ -88,27 +102,38 @@ func (m Modulation) BER(snrLinear float64) float64 {
 const minBER = 1e-15
 
 // InvBER returns the per-symbol SNR (linear) at which the modulation attains
-// the given bit error rate — the inverse of BER, found by bisection. BERs at
-// or below minBER map to the SNR achieving minBER (an effective ceiling);
-// BERs at or above the modulation's zero-SNR saturation value map to 0.
+// the given bit error rate — the inverse of BER, served by interpolated
+// table search (bisection only in the near-saturation fallback sliver).
+// BERs at or below minBER map to the SNR achieving minBER (an effective
+// ceiling); BERs at or above the modulation's zero-SNR saturation value map
+// to 0.
 func (m Modulation) InvBER(ber float64) float64 {
-	if ber >= m.BER(1e-9) {
+	db := m.InvBERdB(ber)
+	if math.IsInf(db, -1) {
 		return 0
+	}
+	return dbToLinear(db)
+}
+
+// InvBERdB is InvBER in the dB domain: the per-symbol SNR (dB) at which the
+// modulation attains ber, or −Inf for BERs at or above the zero-SNR
+// saturation value. ESNR code composes this directly, skipping the
+// linear↔dB round-trip.
+func (m Modulation) InvBERdB(ber float64) float64 {
+	if m < BPSK || m > QAM64 {
+		return linearToDB(m.invBERBisect(math.Max(ber, minBER)))
+	}
+	tab := &berTables[m]
+	if ber >= tab.satur {
+		return math.Inf(-1)
 	}
 	if ber < minBER {
 		ber = minBER
 	}
-	lo, hi := 1e-9, 1e9 // linear SNR bracket: −90 dB … +90 dB
-	for i := 0; i < 200; i++ {
-		mid := math.Sqrt(lo * hi) // geometric bisection: BER is log-linear-ish in dB
-		if m.BER(mid) > ber {
-			lo = mid
-		} else {
-			hi = mid
-		}
-		if hi/lo < 1+1e-12 {
-			break
-		}
+	if ber > tab.invCut {
+		// Nearly saturated: the dB-domain inverse is ill-conditioned here,
+		// so use the closed-form bisection (a −60 dB-or-worse link; cold).
+		return linearToDB(m.invBERBisect(ber))
 	}
-	return math.Sqrt(lo * hi)
+	return m.invBERdB(ber)
 }

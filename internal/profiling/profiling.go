@@ -1,0 +1,69 @@
+// Package profiling wires the conventional -cpuprofile/-memprofile flags
+// into the wgtt CLIs, so the hot-path numbers behind DESIGN.md §9 are
+// reproducible on any machine with the stock pprof toolchain
+// (`go tool pprof wgtt-fleet cpu.out`).
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations parsed from the command line.
+type Flags struct {
+	cpu string
+	mem string
+}
+
+// AddFlags registers -cpuprofile and -memprofile on the default flag set.
+// Call before flag.Parse.
+func AddFlags() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.cpu, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&f.mem, "memprofile", "", "write an allocation profile to this file on exit")
+	return f
+}
+
+// Start begins CPU profiling if requested and returns an idempotent stop
+// function that finishes the CPU profile and writes the heap profile.
+// Callers must invoke stop on every exit path (including before os.Exit,
+// which skips defers).
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if f.cpu != "" {
+		cpuFile, err = os.Create(f.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if f.mem != "" {
+			mf, err := os.Create(f.mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
+}

@@ -167,6 +167,7 @@ func (c *Channel) Link(a, b string) (*Link, error) {
 	doppler := DopplerHz(math.Max(ea.SpeedHintMS, eb.SpeedHintMS), c.params.FrequencyHz)
 	fader := NewFader(c.params.Taps, c.params.Oscillators,
 		doppler, c.params.MinDopplerHz, c.rng.Stream("fading/"+key[0]+"/"+key[1]))
+	fader.Prime(c.params.Subcarriers, c.params.SubcarrierSpacingHz)
 	l := &Link{A: ea, B: eb, fader: fader, params: c.params}
 	if c.params.ShadowSigmaDB > 0 && !c.params.NoFading {
 		l.shadow = NewShadower(c.params.ShadowSigmaDB, math.Max(c.params.ShadowCorrM, 0.5),

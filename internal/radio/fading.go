@@ -2,7 +2,6 @@ package radio
 
 import (
 	"math"
-	"math/cmplx"
 	"math/rand/v2"
 )
 
@@ -36,10 +35,26 @@ func DefaultTaps() []Tap {
 // The process is a pure function of time — sampling is stateless and may
 // happen out of order — and is normalized to unit average power so it
 // composes additively (in dB) with path loss and antenna gain.
+//
+// Sampling reuses internal scratch storage and a cached per-subcarrier
+// twiddle table, so a Fader is NOT safe for concurrent use. Every fader
+// belongs to exactly one simulation cell, and each cell runs on one
+// goroutine (DESIGN.md §5/§8), so this needs no locking.
 type Fader struct {
 	taps  []fadeTap
 	norm  float64 // 1/sqrt(total linear tap power · oscillators)
 	waveN int
+
+	// scratch holds per-tap gains between tapGainsInto and the subcarrier
+	// combine, avoiding a per-sample allocation.
+	scratch []complex128
+	// twiddle caches exp(−j 2π f_m τ_i) for subcarrier m and tap i, laid
+	// out row-major by subcarrier: twiddle[m*len(taps)+i]. Tap delays and
+	// subcarrier offsets are fixed per link, so this is computed once (per
+	// (count, spacing), which in practice never changes for a fader).
+	twiddle     []complex128
+	twidN       int
+	twidSpacing float64
 }
 
 type fadeTap struct {
@@ -91,12 +106,32 @@ func NewFader(taps []Tap, oscillators int, dopplerHz, minDopplerHz float64, rnd 
 	return f
 }
 
+// Prime precomputes the twiddle table and scratch storage for the given
+// subcarrier count and spacing, so even the first GainsDB sample is
+// allocation-free. Called at link-assembly time; sampling with a different
+// geometry later just rebuilds the table.
+func (f *Fader) Prime(subcarriers int, spacingHz float64) {
+	if subcarriers <= 0 {
+		return
+	}
+	f.buildTwiddle(subcarriers, spacingHz)
+	f.tapScratch()
+}
+
 // TapGains returns the instantaneous complex gain of each tap at time
 // tSeconds.
 func (f *Fader) TapGains(tSeconds float64) []complex128 {
 	out := make([]complex128, len(f.taps))
 	f.tapGainsInto(tSeconds, out)
 	return out
+}
+
+// tapScratch returns the reusable per-tap gain buffer.
+func (f *Fader) tapScratch() []complex128 {
+	if cap(f.scratch) < len(f.taps) {
+		f.scratch = make([]complex128, len(f.taps))
+	}
+	return f.scratch[:len(f.taps)]
 }
 
 func (f *Fader) tapGainsInto(tSeconds float64, out []complex128) {
@@ -118,28 +153,53 @@ func (f *Fader) tapGainsInto(tSeconds float64, out []complex128) {
 // offset (m − (len−1)/2) · spacingHz from the channel center; the DC
 // subcarrier is unused in 802.11 so the half-spacing asymmetry is harmless.
 func (f *Fader) GainsDB(tSeconds float64, spacingHz float64, dst []float64) {
-	tapGains := make([]complex128, len(f.taps))
-	f.tapGainsInto(tSeconds, tapGains)
 	n := len(dst)
-	mid := float64(n-1) / 2
+	if f.twidN != n || f.twidSpacing != spacingHz {
+		f.buildTwiddle(n, spacingHz)
+	}
+	tapGains := f.tapScratch()
+	f.tapGainsInto(tSeconds, tapGains)
+	nt := len(f.taps)
 	for m := 0; m < n; m++ {
-		freq := (float64(m) - mid) * spacingHz
 		var h complex128
-		for i := range f.taps {
-			// exp(−j 2π f τ) phase rotation per tap.
-			ph := -2 * math.Pi * freq * f.taps[i].delayNS * 1e-9
-			h += tapGains[i] * cmplx.Exp(complex(0, ph))
+		row := f.twiddle[m*nt : (m+1)*nt]
+		for i, g := range tapGains {
+			h += g * row[i]
 		}
 		p := real(h)*real(h) + imag(h)*imag(h)
 		dst[m] = LinearToDB(p)
 	}
 }
 
+// buildTwiddle precomputes the per-(subcarrier, tap) phase rotations
+// exp(−j 2π f_m τ_i). The entries are bit-identical to what cmplx.Exp
+// produced in the direct evaluation (e^0 · (cos, sin) via math.Sincos), so
+// switching to the table changes no sampled value.
+func (f *Fader) buildTwiddle(n int, spacingHz float64) {
+	nt := len(f.taps)
+	if cap(f.twiddle) < n*nt {
+		f.twiddle = make([]complex128, n*nt)
+	}
+	f.twiddle = f.twiddle[:n*nt]
+	mid := float64(n-1) / 2
+	for m := 0; m < n; m++ {
+		freq := (float64(m) - mid) * spacingHz
+		for i := 0; i < nt; i++ {
+			// exp(−j 2π f τ) phase rotation per tap.
+			ph := -2 * math.Pi * freq * f.taps[i].delayNS * 1e-9
+			s, c := math.Sincos(ph)
+			f.twiddle[m*nt+i] = complex(c, s)
+		}
+	}
+	f.twidN = n
+	f.twidSpacing = spacingHz
+}
+
 // FlatGainDB returns the wideband (frequency-flat) fading power gain in dB
 // at time tSeconds — the power sum over taps, as a broadband receiver
 // measuring RSSI would see it.
 func (f *Fader) FlatGainDB(tSeconds float64) float64 {
-	tapGains := make([]complex128, len(f.taps))
+	tapGains := f.tapScratch()
 	f.tapGainsInto(tSeconds, tapGains)
 	var p float64
 	for _, g := range tapGains {

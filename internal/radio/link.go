@@ -88,12 +88,29 @@ func (l *Link) SNRPerSubcarrierDB(t sim.Time, txPowerDBm float64, dst []float64)
 }
 
 // SNRSnapshot returns a freshly allocated per-subcarrier SNR slice for a
-// transmission from endpoint from ("A" side if from == l.A).
+// transmission from endpoint from ("A" side if from == l.A). Steady-state
+// sampling paths should prefer SNRInto with a reused buffer.
 func (l *Link) SNRSnapshot(t sim.Time, from *Endpoint) []float64 {
 	dst := make([]float64, l.params.Subcarriers)
 	l.SNRPerSubcarrierDB(t, from.TxPowerDBm, dst)
 	return dst
 }
+
+// SNRInto fills dst (reusing its capacity) with the per-subcarrier SNR for a
+// transmission from endpoint from, and returns the filled slice of length
+// Params.Subcarriers. The allocation-free counterpart of SNRSnapshot.
+func (l *Link) SNRInto(t sim.Time, from *Endpoint, dst []float64) []float64 {
+	n := l.params.Subcarriers
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	l.SNRPerSubcarrierDB(t, from.TxPowerDBm, dst)
+	return dst
+}
+
+// Subcarriers returns the per-snapshot subcarrier count of this link.
+func (l *Link) Subcarriers() int { return l.params.Subcarriers }
 
 // MeanSNRDB returns the wideband mean SNR (dB) at time t for a transmission
 // at txPowerDBm — path gain plus flat fading. This is what an RSSI-based

@@ -162,10 +162,30 @@ func TestTimerStopAfterFire(t *testing.T) {
 	}
 }
 
-func TestNilTimer(t *testing.T) {
-	var tm *Timer
+func TestZeroTimer(t *testing.T) {
+	var tm Timer
 	if tm.Stop() || tm.Active() || tm.When() != 0 {
-		t.Error("nil timer should be inert")
+		t.Error("zero timer should be inert")
+	}
+}
+
+// A Timer handle must go stale once its arena slot is recycled by a later
+// event: stopping the old handle must not cancel the new occupant.
+func TestTimerStaleHandle(t *testing.T) {
+	e := NewEngine()
+	old := e.At(Millisecond, func() {})
+	e.Run() // fires and recycles the slot
+	fired := false
+	fresh := e.At(2*Millisecond, func() { fired = true })
+	if old.Stop() {
+		t.Error("stale handle Stop() reported true")
+	}
+	if !fresh.Active() {
+		t.Error("stale handle invalidated the slot's new occupant")
+	}
+	e.Run()
+	if !fired {
+		t.Error("recycled-slot event did not fire")
 	}
 }
 
@@ -189,6 +209,67 @@ func TestRunUntil(t *testing.T) {
 	e.Run()
 	if len(fired) != 3 {
 		t.Errorf("remaining event did not fire after deadline")
+	}
+}
+
+// Regression: a cancelled event at the queue head with at ≤ deadline must
+// not license RunUntil to dispatch the next live event past the deadline.
+func TestRunUntilCancelledHead(t *testing.T) {
+	e := NewEngine()
+	head := e.At(10*Millisecond, func() { t.Error("cancelled event fired") })
+	lateFired := false
+	e.At(50*Millisecond, func() { lateFired = true })
+	head.Stop()
+	e.RunUntil(20 * Millisecond)
+	if lateFired {
+		t.Error("RunUntil dispatched a live event scheduled after the deadline")
+	}
+	if e.Now() != 20*Millisecond {
+		t.Errorf("Now() = %v, want exactly the 20ms deadline", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending() = %d, want the post-deadline event still queued", e.Pending())
+	}
+	e.Run()
+	if !lateFired {
+		t.Error("post-deadline event lost")
+	}
+}
+
+// The heap must compact lazily-cancelled entries so keepalive-style
+// arm/cancel churn cannot bloat the queue.
+func TestEngineCancelCompaction(t *testing.T) {
+	e := NewEngine()
+	nop := func() {}
+	for i := 0; i < 100000; i++ {
+		tm := e.After(Second, nop)
+		tm.Stop()
+	}
+	if n := len(e.heap); n > 2*compactThreshold+2 {
+		t.Errorf("heap holds %d entries after pure cancel churn; compaction broken", n)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+// Steady-state scheduling must not allocate: slots and heap capacity are
+// reused once the engine has warmed up.
+func TestEngineZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine()
+	nop := func() {}
+	var tick func()
+	tick = func() {
+		tm := e.After(30*Millisecond, nop)
+		tm.Stop()
+		e.After(Millisecond, tick)
+	}
+	e.After(Millisecond, tick)
+	for i := 0; i < 1000; i++ { // warm arena, heap, and free list
+		e.Step()
+	}
+	if avg := testing.AllocsPerRun(200, func() { e.Step() }); avg != 0 {
+		t.Errorf("Engine.Step allocates %.1f times per event in steady state, want 0", avg)
 	}
 }
 

@@ -54,7 +54,7 @@ type TCPSender struct {
 	srtt, rttvar sim.Time
 	haveRTT      bool
 	rto          sim.Time
-	rtoTimer     *sim.Timer
+	rtoTimer     sim.Timer
 	backoff      int
 
 	sentAt   map[uint32]sim.Time // send time per segment (cleared on rtx)
@@ -158,10 +158,7 @@ func (s *TCPSender) emit(seq uint32, rtx bool) {
 }
 
 func (s *TCPSender) armRTO() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Stop()
-		s.rtoTimer = nil
-	}
+	s.rtoTimer.Stop()
 	if s.sndUna == s.sndNxt {
 		return // nothing outstanding
 	}
@@ -170,7 +167,6 @@ func (s *TCPSender) armRTO() {
 
 // onRTO is the retransmission timeout: Reno collapses to one segment.
 func (s *TCPSender) onRTO() {
-	s.rtoTimer = nil
 	if s.sndUna == s.sndNxt || s.complete {
 		return
 	}
@@ -229,9 +225,7 @@ func (s *TCPSender) OnAck(ackSeq uint32, at sim.Time) {
 		s.traceCwnd()
 		if s.cfg.TotalSegments > 0 && s.sndUna >= s.cfg.TotalSegments {
 			s.complete = true
-			if s.rtoTimer != nil {
-				s.rtoTimer.Stop()
-			}
+			s.rtoTimer.Stop()
 			if s.cfg.OnComplete != nil {
 				s.cfg.OnComplete(at)
 			}

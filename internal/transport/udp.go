@@ -28,7 +28,8 @@ type UDPSender struct {
 	dstIP     packet.IPv4Addr
 	clientMAC packet.MACAddr
 	uplink    bool
-	timer     *sim.Timer
+	timer     sim.Timer
+	running   bool
 
 	Sent uint64
 }
@@ -65,18 +66,17 @@ func NewUDPSender(eng *sim.Engine, cfg UDPConfig, send SendFunc) *UDPSender {
 
 // Start begins emission.
 func (u *UDPSender) Start() {
-	if u.timer != nil {
+	if u.running {
 		return
 	}
+	u.running = true
 	u.tick()
 }
 
 // Stop halts emission.
 func (u *UDPSender) Stop() {
-	if u.timer != nil {
-		u.timer.Stop()
-		u.timer = nil
-	}
+	u.running = false
+	u.timer.Stop()
 }
 
 func (u *UDPSender) tick() {
