@@ -7,9 +7,9 @@ GO ?= go
 
 RACE_PKGS = ./internal/fleet ./internal/eval ./internal/trace ./internal/stats
 
-.PHONY: check vet build test race bench bench-smoke fleet-determinism
+.PHONY: check vet build test race bench bench-smoke fleet-determinism docs-check
 
-check: vet build test race bench-smoke
+check: vet build test race bench-smoke docs-check
 
 vet:
 	$(GO) vet ./...
@@ -24,7 +24,7 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 
 # Hot-path packages with microbenchmarks and AllocsPerRun assertions.
-BENCH_PKGS = ./internal/sim ./internal/radio ./internal/phy ./internal/csi ./internal/controller
+BENCH_PKGS = ./internal/sim ./internal/radio ./internal/phy ./internal/csi ./internal/controller ./internal/metrics
 
 # Fast allocation-regression gate (part of check): every ZeroAlloc
 # assertion plus one iteration of each hot-path microbenchmark, so a
@@ -32,6 +32,21 @@ BENCH_PKGS = ./internal/sim ./internal/radio ./internal/phy ./internal/csi ./int
 bench-smoke:
 	$(GO) test -run ZeroAlloc $(BENCH_PKGS)
 	$(GO) test -run '^$$' -bench 'GainsDB|ESNR|Median|Engine|BER' -benchtime 1x -benchmem $(BENCH_PKGS)
+
+# Documentation lint: every internal package's godoc must carry at least one
+# paper-section marker (§) mapping the package to the part of the paper it
+# reproduces. `go doc <pkg>` prints the package comment plus bare
+# declarations (symbol comments stripped), so grepping it for § tests
+# exactly the package comment.
+docs-check:
+	@fail=0; for d in internal/*/; do \
+		pkg=$${d%/}; \
+		if ! $(GO) doc ./$$pkg 2>/dev/null | grep -q '§'; then \
+			echo "docs-check: $$pkg package godoc has no paper-section (§) marker"; fail=1; \
+		fi; \
+	done; \
+	if [ $$fail -ne 0 ]; then exit 1; fi
+	@echo docs-check: all internal packages carry a paper-section mapping
 
 # Slow (tens of minutes): the full perf trajectory — every figure/table
 # benchmark from the root bench_test.go plus the hot-path micros — written

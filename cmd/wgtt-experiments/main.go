@@ -21,16 +21,19 @@ import (
 	"runtime"
 
 	"wgtt/internal/eval"
+	"wgtt/internal/metrics"
 	"wgtt/internal/profiling"
 )
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "trimmed sweeps")
-		list    = flag.Bool("list", false, "list experiment IDs")
-		seed    = flag.Uint64("seed", 2017, "base seed")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiments")
-		prof    = profiling.AddFlags()
+		quick      = flag.Bool("quick", false, "trimmed sweeps")
+		list       = flag.Bool("list", false, "list experiment IDs")
+		seed       = flag.Uint64("seed", 2017, "base seed")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiments")
+		metricsOut = flag.String("metrics", "",
+			"write a merged metrics snapshot (JSON) to this file; '-' prints a table to stdout")
+		prof = profiling.AddFlags()
 	)
 	flag.Parse()
 
@@ -46,7 +49,7 @@ func main() {
 		os.Exit(1)
 	}
 	defer stopProf()
-	opt := eval.Options{Seed: *seed, Quick: *quick}
+	opt := eval.Options{Seed: *seed, Quick: *quick, CollectMetrics: *metricsOut != ""}
 	outs, err := eval.RunAll(opt, *workers, flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -68,5 +71,24 @@ func main() {
 	if failed > 0 {
 		stopProf()
 		os.Exit(1)
+	}
+	if *metricsOut != "" {
+		// Merge per-experiment snapshots in registry order so the combined
+		// snapshot is independent of worker count.
+		var snaps []metrics.Snapshot
+		for _, o := range outs {
+			if o.Metrics != nil {
+				snaps = append(snaps, *o.Metrics)
+			}
+		}
+		merged := metrics.Merge(snaps...)
+		if err := merged.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			stopProf()
+			os.Exit(1)
+		}
+		if *metricsOut != "-" {
+			fmt.Printf("metrics: merged snapshot of %d experiments -> %s\n", len(snaps), *metricsOut)
+		}
 	}
 }

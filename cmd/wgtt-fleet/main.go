@@ -30,19 +30,21 @@ import (
 
 func main() {
 	var (
-		cells    = flag.Int("cells", 8, "number of corridor cells")
-		seed     = flag.Uint64("seed", 1, "fleet master seed")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent cell simulations")
-		aps      = flag.Int("aps", 8, "APs per cell")
-		spacing  = flag.Float64("spacing", 7.5, "AP spacing, meters")
-		arrivals = flag.Float64("arrivals", 6, "vehicle arrivals per minute per cell")
-		window   = flag.Float64("window", 20, "arrival window, seconds")
-		maxVeh   = flag.Int("max-vehicles", 4, "vehicle cap per cell")
-		speeds   = flag.String("speeds", "15,25,35", "speed mix, mph (comma-separated)")
-		tcpFrac  = flag.Float64("tcp-frac", 0.5, "fraction of vehicles with TCP workload")
-		udpRate  = flag.Float64("rate", 20, "UDP offered load per vehicle, Mb/s")
-		traceDir = flag.String("trace-dir", "", "write per-cell JSONL event traces here")
-		prof     = profiling.AddFlags()
+		cells      = flag.Int("cells", 8, "number of corridor cells")
+		seed       = flag.Uint64("seed", 1, "fleet master seed")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent cell simulations")
+		aps        = flag.Int("aps", 8, "APs per cell")
+		spacing    = flag.Float64("spacing", 7.5, "AP spacing, meters")
+		arrivals   = flag.Float64("arrivals", 6, "vehicle arrivals per minute per cell")
+		window     = flag.Float64("window", 20, "arrival window, seconds")
+		maxVeh     = flag.Int("max-vehicles", 4, "vehicle cap per cell")
+		speeds     = flag.String("speeds", "15,25,35", "speed mix, mph (comma-separated)")
+		tcpFrac    = flag.Float64("tcp-frac", 0.5, "fraction of vehicles with TCP workload")
+		udpRate    = flag.Float64("rate", 20, "UDP offered load per vehicle, Mb/s")
+		traceDir   = flag.String("trace-dir", "", "write per-cell JSONL event traces here")
+		metricsOut = flag.String("metrics", "",
+			"write a merged metrics snapshot (JSON) to this file; '-' prints a table to stdout")
+		prof = profiling.AddFlags()
 	)
 	flag.Parse()
 
@@ -80,6 +82,7 @@ func main() {
 		TCPFraction:    *tcpFrac,
 		UDPRateMbps:    *udpRate,
 		TraceDir:       *traceDir,
+		Metrics:        *metricsOut != "",
 	}
 	start := time.Now()
 	res, err := fleet.Run(cfg)
@@ -96,6 +99,19 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "traces: %d events across %d files in %s\n",
 			events, len(res.Cells), *traceDir)
+	}
+	if *metricsOut != "" {
+		if snap := res.MergedMetrics(); snap != nil {
+			if err := snap.WriteFile(*metricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics:", err)
+				stopProf()
+				os.Exit(1)
+			}
+			if *metricsOut != "-" {
+				fmt.Fprintf(os.Stderr, "metrics: merged snapshot of %d cells -> %s\n",
+					len(res.Cells), *metricsOut)
+			}
+		}
 	}
 	fmt.Fprintf(os.Stderr, "%d cells in %.1fs with %d workers\n",
 		*cells, time.Since(start).Seconds(), *workers)

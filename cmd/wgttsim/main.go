@@ -19,15 +19,17 @@ import (
 
 func main() {
 	var (
-		modeFlag = flag.String("mode", "wgtt", "wgtt | baseline")
-		speed    = flag.Float64("speed", 15, "client speed, mph")
-		proto    = flag.String("proto", "udp", "udp | tcp")
-		rate     = flag.Float64("rate", 50, "UDP offered load, Mb/s")
-		clients  = flag.Int("clients", 1, "number of clients (1-3)")
-		pattern  = flag.String("pattern", "following", "following | parallel | opposing")
-		seed     = flag.Uint64("seed", 42, "scenario seed")
-		verbose  = flag.Bool("v", false, "per-second progress")
-		traceOut = flag.String("trace", "", "write a JSONL event trace to this file")
+		modeFlag   = flag.String("mode", "wgtt", "wgtt | baseline")
+		speed      = flag.Float64("speed", 15, "client speed, mph")
+		proto      = flag.String("proto", "udp", "udp | tcp")
+		rate       = flag.Float64("rate", 50, "UDP offered load, Mb/s")
+		clients    = flag.Int("clients", 1, "number of clients (1-3)")
+		pattern    = flag.String("pattern", "following", "following | parallel | opposing")
+		seed       = flag.Uint64("seed", 42, "scenario seed")
+		verbose    = flag.Bool("v", false, "per-second progress")
+		traceOut   = flag.String("trace", "", "write a JSONL event trace to this file")
+		metricsOut = flag.String("metrics", "",
+			"write a metrics snapshot (JSON) to this file; '-' prints a table to stdout")
 	)
 	flag.Parse()
 
@@ -52,6 +54,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "build:", err)
 		os.Exit(1)
+	}
+	if *metricsOut != "" {
+		n.EnableMetrics()
 	}
 
 	var tcps []*core.DownTCP
@@ -115,4 +120,14 @@ func main() {
 	}
 	fmt.Printf("medium: %.0f%% airtime, %d tx collisions, %d/%d response collisions\n",
 		100*n.Medium.Utilization(), n.Medium.TxCollisions, n.Medium.RespCollisions, n.Medium.RespTotal)
+	if *metricsOut != "" {
+		snap := n.Metrics.Snapshot()
+		if err := snap.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+		if *metricsOut != "-" {
+			fmt.Printf("metrics: snapshot -> %s\n", *metricsOut)
+		}
+	}
 }

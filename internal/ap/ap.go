@@ -18,6 +18,7 @@ import (
 
 	"wgtt/internal/backhaul"
 	"wgtt/internal/mac"
+	"wgtt/internal/metrics"
 	"wgtt/internal/packet"
 	"wgtt/internal/sim"
 )
@@ -125,6 +126,14 @@ type clientState struct {
 	// seenBA de-duplicates Block ACK state (own NIC or forwarded), keyed by
 	// (ssn, bitmap) — the §3.2.1 "received before" check.
 	seenBA map[uint64]bool
+
+	// drainPending/drainSwitchID/drainStart/drainCount track the
+	// hardware-queue drain a stop(c) left behind, so the switch span can
+	// record how long the old AP kept transmitting committed MPDUs.
+	drainPending  bool
+	drainSwitchID uint32
+	drainStart    sim.Time
+	drainCount    int
 }
 
 // staleRingAfter is how long a client's ring may sit idle before its
@@ -157,6 +166,46 @@ type AP struct {
 	// rewinds). Per-AP rather than package-wide so concurrent simulations
 	// (fleet cells, parallel experiments) never share mutable state.
 	DebugSwitch func(what string, switchID uint32, k uint16)
+
+	met apMetrics
+}
+
+// apMetrics holds this AP's observability handles (DESIGN.md §10),
+// component-keyed by the AP's name. Nil until UseMetrics wires a registry;
+// nil instruments record nothing.
+type apMetrics struct {
+	enqueued   *metrics.Counter
+	overwrites *metrics.Counter
+	// queueDepth samples the cyclic-queue backlog (unsent indices between
+	// the read cursor and the write head) after each enqueue.
+	queueDepth *metrics.Histogram
+	baFwd      *metrics.Counter
+	baMerged   *metrics.Counter
+	// keepalives counts 802.11 null-data frames heard from clients — the
+	// §3.1.1 CSI keepalive activity under downlink-only workloads.
+	keepalives *metrics.Counter
+	csiReports *metrics.Counter
+	stops      *metrics.Counter
+	starts     *metrics.Counter
+	spans      *metrics.SpanTracker
+}
+
+// UseMetrics wires the AP's instruments into r under the AP's name (call
+// before the run starts). A nil registry leaves recording disabled.
+func (a *AP) UseMetrics(r *metrics.Registry) {
+	comp := a.cfg.Name
+	a.met = apMetrics{
+		enqueued:   r.Counter(comp, "down_enqueued"),
+		overwrites: r.Counter(comp, "ring_overwrites"),
+		queueDepth: r.Histogram(comp, "queue_depth", []float64{0, 4, 16, 64, 256, 1024, 4096}),
+		baFwd:      r.Counter(comp, "ba_forwarded"),
+		baMerged:   r.Counter(comp, "ba_merged"),
+		keepalives: r.Counter(comp, "keepalives_heard"),
+		csiReports: r.Counter(comp, "csi_reports"),
+		stops:      r.Counter(comp, "stops_handled"),
+		starts:     r.Counter(comp, "starts_handled"),
+		spans:      r.SwitchSpans(),
+	}
 }
 
 // New creates an AP, wiring it to the backhaul and its MAC station. The
@@ -262,6 +311,7 @@ func (a *AP) enqueueDownlink(p *packet.Packet) {
 	slot := int(p.Index) % a.cfg.CyclicQueueSlots
 	if old := cs.ring[slot]; old != nil && !cs.sent(old.Index) {
 		a.Stats.DownOverwritten++
+		a.met.overwrites.Inc()
 	}
 	cs.ring[slot] = p
 	now := a.eng.Now()
@@ -292,6 +342,7 @@ func (a *AP) enqueueDownlink(p *packet.Packet) {
 			dropped := d - maxBacklog
 			cs.nextSend = (cs.nextSend + dropped) & packet.IndexMask
 			a.Stats.DownOverwritten += uint64(dropped)
+			a.met.overwrites.Add(uint64(dropped))
 		}
 	} else if cs.haveAny && cs.nextSend != cs.head &&
 		packet.IndexDist(cs.nextSend, cs.head) > uint16(a.cfg.CyclicQueueSlots/2) {
@@ -299,8 +350,17 @@ func (a *AP) enqueueDownlink(p *packet.Packet) {
 		// start pointed far ahead): resynchronize to a bounded backlog.
 		cs.nextSend = (cs.head - maxBacklog) & packet.IndexMask
 		a.Stats.DownOverwritten++
+		a.met.overwrites.Inc()
 	}
 	a.Stats.DownEnqueued++
+	a.met.enqueued.Inc()
+	if a.met.queueDepth != nil {
+		depth := 0
+		if cs.backlog() {
+			depth = int(packet.IndexDist(cs.nextSend, cs.head))
+		}
+		a.met.queueDepth.Observe(float64(depth))
+	}
 	if cs.serving {
 		a.st.Kick()
 	}
@@ -331,6 +391,8 @@ func (cs *clientState) sent(idx uint16) bool {
 // the paper's NIC-hardware-queue drain.
 func (a *AP) handleStop(m *packet.Stop) {
 	a.Stats.StopsHandled++
+	a.met.stops.Inc()
+	a.met.spans.MarkStopHandled(m.SwitchID, int64(a.eng.Now()))
 	cs := a.client(m.Client)
 	k := cs.nextSend
 	if !cs.serving {
@@ -348,6 +410,18 @@ func (a *AP) handleStop(m *packet.Stop) {
 	// retried again after that.
 	cs.drainQ = append(cs.drainQ, cs.retryQ...)
 	cs.retryQ = nil
+	if a.met.spans != nil {
+		if len(cs.drainQ) == 0 {
+			// Nothing committed toward the NIC: the drain is trivially over.
+			a.met.spans.ObserveDrain(m.SwitchID, 0, 0)
+			cs.drainPending = false
+		} else {
+			cs.drainPending = true
+			cs.drainSwitchID = m.SwitchID
+			cs.drainStart = a.eng.Now()
+			cs.drainCount = 0
+		}
+	}
 	a.sendStart(m, k)
 	a.st.Kick()
 }
@@ -364,6 +438,8 @@ func (a *AP) sendStart(m *packet.Stop, k uint16) {
 // take over transmission, and ack the controller.
 func (a *AP) handleStart(m *packet.Start) {
 	a.Stats.StartsHandled++
+	a.met.starts.Inc()
+	a.met.spans.MarkStartHandled(m.SwitchID, int64(a.eng.Now()))
 	cs := a.client(m.Client)
 	if !cs.haveAny {
 		// Taking over with an empty ring (this AP joined the fan-out set
@@ -404,6 +480,7 @@ func (a *AP) handleForwardedBA(m *packet.BlockAckFwd) {
 	merged := a.completeFromBitmap(cs, m.SSN, m.Bitmap)
 	if merged > 0 {
 		a.Stats.BAMerged += uint64(merged)
+		a.met.baMerged.Add(uint64(merged))
 	}
 }
 

@@ -37,6 +37,16 @@ func (a *AP) BuildFrame() *mac.Frame {
 			n++
 		}
 		cs.drainQ = cs.drainQ[n:]
+		if cs.drainPending {
+			cs.drainCount += n
+			if len(cs.drainQ) == 0 {
+				// The last committed MPDU just left toward the NIC — the
+				// §3.1.2 drain the old AP performs over its inferior link.
+				a.met.spans.ObserveDrain(cs.drainSwitchID, cs.drainCount,
+					int64(a.eng.Now()-cs.drainStart))
+				cs.drainPending = false
+			}
+		}
 		return &mac.Frame{Kind: mac.KindData, From: a.cfg.BSSID, To: cs.mac, MCS: mcs, MPDUs: mpdus}
 	}
 
@@ -187,8 +197,14 @@ func (a *AP) OnFrame(ev *mac.RxEvent) {
 		}
 	}
 	for _, mp := range ev.Decoded {
-		if mp.Pkt == nil || mp.Pkt.Kind == packet.KindNull {
-			continue // nulls are CSI probes, not traffic
+		if mp.Pkt == nil {
+			continue
+		}
+		if mp.Pkt.Kind == packet.KindNull {
+			// Nulls are CSI probes, not traffic — the keepalive activity
+			// that keeps the §3.1.1 window fed under downlink-only load.
+			a.met.keepalives.Inc()
+			continue
 		}
 		a.Stats.UplinkForwarded++
 		_ = a.bh.Send(a.cfg.IP, a.controller, &packet.UpData{APSrc: a.cfg.IP, Pkt: mp.Pkt})
@@ -214,6 +230,7 @@ func (a *AP) OnBlockAck(ev *mac.BAEvent) {
 		return
 	}
 	a.Stats.BAForwarded++
+	a.met.baFwd.Inc()
 	fwd := &packet.BlockAckFwd{
 		Client: ev.Responder,
 		FromAP: a.cfg.IP,
@@ -233,6 +250,7 @@ func (a *AP) reportCSI(client packet.MACAddr, snrDB []float64, at sim.Time) {
 	rep := &packet.CSIReport{Client: client, AP: a.cfg.IP, At: int64(at)}
 	rep.QuantizeSNR(snrDB)
 	a.Stats.CSIReports++
+	a.met.csiReports.Inc()
 	_ = a.bh.Send(a.cfg.IP, a.controller, rep)
 }
 

@@ -1,13 +1,16 @@
-// Package client implements the mobile station: the 802.11 client MAC
-// glue that receives (and de-duplicates) downlink packets, queues and
-// aggregates uplink traffic toward the current BSSID, and surfaces beacons
-// and management traffic to whatever roaming logic sits above it (none for
+// Package client implements the mobile station of §3.2 and §4.1: the
+// 802.11 client MAC glue that receives (and de-duplicates, §3.2.2)
+// downlink packets, queues and aggregates uplink traffic toward the
+// current BSSID, emits the null-frame CSI keepalives that feed the §3.1.1
+// selection window under downlink-only load, and surfaces beacons and
+// management traffic to whatever roaming logic sits above it (none for
 // WGTT — the network roams for the client; the Enhanced 802.11r baseline
-// plugs its client-driven roamer into the hooks).
+// of §5 plugs its client-driven roamer into the hooks).
 package client
 
 import (
 	"wgtt/internal/mac"
+	"wgtt/internal/metrics"
 	"wgtt/internal/packet"
 	"wgtt/internal/phy"
 	"wgtt/internal/sim"
@@ -80,7 +83,26 @@ type Client struct {
 	// OnMgmt observes received management frames.
 	OnMgmt func(ev *mac.RxEvent)
 
+	// met holds the observability handles (nil-safe; see DESIGN.md §10).
+	met clientMetrics
+
 	Stats Stats
+}
+
+// clientMetrics holds the client's observability handles.
+type clientMetrics struct {
+	keepalives *metrics.Counter
+	downDupes  *metrics.Counter
+}
+
+// UseMetrics wires the client's instruments into r under the given
+// component name (call before the run starts). A nil registry leaves
+// recording disabled.
+func (c *Client) UseMetrics(r *metrics.Registry, component string) {
+	c.met = clientMetrics{
+		keepalives: r.Counter(component, "keepalives_sent"),
+		downDupes:  r.Counter(component, "downlink_dupes"),
+	}
 }
 
 // New creates a client bound to an existing MAC station; the client
@@ -120,6 +142,7 @@ func (c *Client) StartKeepalive(interval sim.Time) {
 	var tick func()
 	tick = func() {
 		if !c.hasWork() {
+			c.met.keepalives.Inc()
 			c.uplinkQ = append(c.uplinkQ, &packet.Packet{
 				ClientMAC: c.cfg.MAC,
 				SrcIP:     c.cfg.IP,
@@ -236,6 +259,7 @@ func (c *Client) OnFrame(ev *mac.RxEvent) {
 		}
 		if c.isDup(mp.Pkt.Index, ev.At) {
 			c.Stats.DownlinkDupes++
+			c.met.downDupes.Inc()
 			continue
 		}
 		c.Stats.DownlinkMPDUs++

@@ -5,6 +5,7 @@ import (
 
 	"wgtt/internal/backhaul"
 	"wgtt/internal/csi"
+	"wgtt/internal/metrics"
 	"wgtt/internal/packet"
 	"wgtt/internal/sim"
 )
@@ -81,6 +82,48 @@ type Stats struct {
 	DownlinkCopies  uint64
 }
 
+// ctlMetrics holds the controller's observability handles (DESIGN.md §10).
+// All fields are nil until UseMetrics wires a registry; every instrument
+// is nil-safe, so the unwired state is the disabled state.
+type ctlMetrics struct {
+	csiReports *metrics.Counter
+	// windowOcc samples the (client, AP) window size at each ingest — the
+	// occupancy behind every §3.1.1 median the selection rule compares.
+	windowOcc *metrics.Histogram
+	// selectionFlips counts evaluations whose argmax AP differed from the
+	// previous evaluation's — raw selection churn, before hysteresis.
+	selectionFlips *metrics.Counter
+	// hystSuppressed counts re-evaluations skipped inside the dwell time.
+	hystSuppressed  *metrics.Counter
+	switchesStarted *metrics.Counter
+	switchesDone    *metrics.Counter
+	stopRetransmits *metrics.Counter
+	// dedup{Hits,Misses,Size}: the §3.2.2 uplink de-duplication hashset —
+	// a hit is a suppressed duplicate, a miss a first-seen packet.
+	dedupHits   *metrics.Counter
+	dedupMisses *metrics.Counter
+	dedupSize   *metrics.Gauge
+	spans       *metrics.SpanTracker
+}
+
+// UseMetrics wires the controller's instruments into r (call before the
+// run starts). A nil registry leaves recording disabled.
+func (c *Controller) UseMetrics(r *metrics.Registry) {
+	c.met = ctlMetrics{
+		csiReports:      r.Counter("controller", "csi_reports"),
+		windowOcc:       r.Histogram("controller", "window_occupancy", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		selectionFlips:  r.Counter("controller", "selection_flips"),
+		hystSuppressed:  r.Counter("controller", "hysteresis_suppressions"),
+		switchesStarted: r.Counter("controller", "switches_started"),
+		switchesDone:    r.Counter("controller", "switches_done"),
+		stopRetransmits: r.Counter("controller", "stop_retransmits"),
+		dedupHits:       r.Counter("dedup", "hits"),
+		dedupMisses:     r.Counter("dedup", "misses"),
+		dedupSize:       r.Gauge("dedup", "size"),
+		spans:           r.SwitchSpans(),
+	}
+}
+
 // switchOp is the single in-flight handover of one client.
 type switchOp struct {
 	id       uint32
@@ -102,6 +145,10 @@ type clientCtl struct {
 	serving    int
 	lastSwitch sim.Time
 	op         *switchOp
+
+	// lastBest is the previous evaluation's argmax AP (-1 before any), the
+	// reference point for the selection-flip metric.
+	lastBest int
 
 	nextIndex uint16
 
@@ -135,6 +182,11 @@ type Controller struct {
 	// buffer serves every report.
 	snrScratch []float64
 
+	// met holds the observability instruments; dedupEntries tracks the
+	// total dedup-hashset occupancy across clients for the size gauge.
+	met          ctlMetrics
+	dedupEntries int
+
 	Stats   Stats
 	History []SwitchRecord
 }
@@ -166,6 +218,7 @@ func (c *Controller) RegisterClient(mac packet.MACAddr, ip packet.IPv4Addr, serv
 		lastHeard: make([]sim.Time, len(c.aps)),
 		heardEver: make([]bool, len(c.aps)),
 		serving:   servingAP,
+		lastBest:  -1,
 		dedup:     make(map[packet.DedupKey]struct{}, c.cfg.DedupCapacity),
 	}
 	for i := range cl.windows {
@@ -230,6 +283,7 @@ func (c *Controller) handleCSI(m *packet.CSIReport) {
 		return
 	}
 	c.Stats.CSIReports++
+	c.met.csiReports.Inc()
 	c.snrScratch = m.SNRdBInto(c.snrScratch)
 	esnr := csi.ESNRdB(c.snrScratch, csi.DefaultESNRModulation)
 	at := sim.Time(m.At)
@@ -237,6 +291,7 @@ func (c *Controller) handleCSI(m *packet.CSIReport) {
 		at = now
 	}
 	cl.windows[apID].push(at, esnr)
+	c.met.windowOcc.Observe(float64(cl.windows[apID].size()))
 	cl.lastHeard[apID] = c.eng.Now()
 	cl.heardEver[apID] = true
 	c.evaluate(cl)
@@ -249,6 +304,9 @@ func (c *Controller) evaluate(cl *clientCtl) {
 	}
 	now := c.eng.Now()
 	if now-cl.lastSwitch < c.cfg.Hysteresis {
+		// Dwell-time suppression: the §3.1.1 rule would have re-run here
+		// but the Fig. 22 hysteresis holds the serving AP.
+		c.met.hystSuppressed.Inc()
 		return
 	}
 	minSamples := c.cfg.MinSamples
@@ -265,24 +323,41 @@ func (c *Controller) evaluate(cl *clientCtl) {
 			best, bestMed = id, med
 		}
 	}
+	if best != -1 && best != cl.lastBest {
+		// The argmax moved — selection churn, whether or not the gates
+		// below let it become a switch.
+		c.met.selectionFlips.Inc()
+		cl.lastBest = best
+	}
 	if best == -1 || best == cl.serving {
 		return
 	}
 	if bestMed < c.cfg.MinSwitchESNRdB {
 		return // nobody usable; switching would just churn
 	}
-	if med, ok := cl.windows[cl.serving].median(now); ok && bestMed < med+c.cfg.MedianMarginDB {
+	servMed, servOK := cl.windows[cl.serving].median(now)
+	if servOK && bestMed < servMed+c.cfg.MedianMarginDB {
 		return
 	}
-	c.initiateSwitch(cl, best)
+	if !servOK {
+		servMed = 0
+	}
+	c.initiateSwitch(cl, best, servMed, bestMed)
 }
 
 // initiateSwitch sends stop(c) to the serving AP and arms the timeout.
-func (c *Controller) initiateSwitch(cl *clientCtl, to int) {
+// fromMed/toMed are the window medians that justified the switch, recorded
+// on its span.
+func (c *Controller) initiateSwitch(cl *clientCtl, to int, fromMed, toMed float64) {
 	c.switchSeq++
 	op := &switchOp{id: c.switchSeq, from: cl.serving, to: to, sentAt: c.eng.Now()}
 	cl.op = op
 	c.Stats.SwitchesStarted++
+	c.met.switchesStarted.Inc()
+	if c.met.spans != nil {
+		c.met.spans.Begin(op.id, int64(op.sentAt), cl.mac.String(),
+			op.from, op.to, metrics.CauseMedianArgmax, fromMed, toMed)
+	}
 	c.sendStop(cl, op)
 }
 
@@ -293,6 +368,8 @@ func (c *Controller) sendStop(cl *clientCtl, op *switchOp) {
 	op.timer = c.eng.After(c.cfg.SwitchTimeout, func() {
 		if cl.op == op {
 			c.Stats.StopRetransmits++
+			c.met.stopRetransmits.Inc()
+			c.met.spans.AddRetransmit(op.id)
 			c.sendStop(cl, op)
 		}
 	})
@@ -318,6 +395,8 @@ func (c *Controller) handleSwitchAck(m *packet.SwitchAck) {
 		Attempts: op.attempts,
 	}
 	c.Stats.SwitchesDone++
+	c.met.switchesDone.Inc()
+	c.met.spans.End(op.id, int64(rec.At))
 	c.History = append(c.History, rec)
 	if c.OnSwitch != nil {
 		c.OnSwitch(rec)
@@ -369,16 +448,21 @@ func (c *Controller) handleUplink(m *packet.UpData) {
 		if _, dup := cl.dedup[key]; dup {
 			cl.UplinkDuplicate++
 			c.Stats.UplinkDuplicate++
+			c.met.dedupHits.Inc()
 			return
 		}
 		cl.dedup[key] = struct{}{}
+		c.dedupEntries++
 		cl.dedupFIFO = append(cl.dedupFIFO, key)
 		if len(cl.dedupFIFO) > c.cfg.DedupCapacity {
 			old := cl.dedupFIFO[0]
 			cl.dedupFIFO = cl.dedupFIFO[1:]
 			delete(cl.dedup, old)
+			c.dedupEntries--
 		}
 		cl.UplinkUnique++
+		c.met.dedupMisses.Inc()
+		c.met.dedupSize.Set(float64(c.dedupEntries))
 	}
 	c.Stats.UplinkUnique++
 	if c.DeliverUplink != nil {

@@ -1,0 +1,96 @@
+package controller
+
+import (
+	"testing"
+
+	"wgtt/internal/metrics"
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+// TestMetricsIngestZeroAllocEnabled pins DESIGN.md §10's overhead guarantee
+// from the enabled side: the controller's CSI ingest (handleCSI → window
+// push → median argmax) stays allocation-free at steady state even with a
+// live registry recording every report. The disabled side is covered by the
+// PR 2 invariants (window_test.go) plus internal/metrics' nil-handle tests.
+func TestMetricsIngestZeroAllocEnabled(t *testing.T) {
+	h := newCtlHarness(t, 3, DefaultConfig())
+	r := metrics.NewRegistry()
+	h.ctl.UseMetrics(r)
+	client := packet.ClientMAC(1)
+	h.ctl.RegisterClient(client, packet.ClientIP(1), 0)
+
+	// One reusable report into the serving AP's window: the argmax never
+	// moves, so the steady state exercises ingest + instruments without the
+	// (allocating, control-plane-rate) switch initiation.
+	rep := csiReport(client, 0, 0, 20)
+	at := sim.Time(0)
+	step := 100 * sim.Microsecond
+	feed := func() {
+		at += step
+		h.eng.RunUntil(at)
+		rep.At = int64(at)
+		h.ctl.handleCSI(rep)
+	}
+	for i := 0; i < 2048; i++ { // warm window and instrument maps
+		feed()
+	}
+	if avg := testing.AllocsPerRun(500, feed); avg != 0 {
+		t.Errorf("enabled-metrics CSI ingest allocates %.2f times per report, want 0", avg)
+	}
+
+	// The instruments must actually have recorded.
+	snap := r.Snapshot()
+	var reports uint64
+	for _, c := range snap.Counters {
+		if c.Component == "controller" && c.Name == "csi_reports" {
+			reports = c.Value
+		}
+	}
+	if reports != h.ctl.Stats.CSIReports || reports == 0 {
+		t.Errorf("csi_reports counter = %d, controller Stats = %d", reports, h.ctl.Stats.CSIReports)
+	}
+}
+
+// TestMetricsSwitchCountersMatchStats cross-checks the new instruments
+// against the pre-existing Stats block and History on a scripted switch.
+func TestMetricsSwitchCountersMatchStats(t *testing.T) {
+	h := newCtlHarness(t, 3, DefaultConfig())
+	r := metrics.NewRegistry()
+	h.ctl.UseMetrics(r)
+	client := packet.ClientMAC(1)
+	h.ctl.RegisterClient(client, packet.ClientIP(1), 0)
+
+	for i := 0; i < 60; i++ {
+		h.feedCSI(client, 0, 8)
+		h.feedCSI(client, 2, 20)
+		h.eng.RunUntil(h.eng.Now() + 2*sim.Millisecond)
+	}
+	h.eng.RunUntil(h.eng.Now() + 100*sim.Millisecond)
+
+	snap := r.Snapshot()
+	counter := func(name string) uint64 {
+		for _, c := range snap.Counters {
+			if c.Component == "controller" && c.Name == name {
+				return c.Value
+			}
+		}
+		return 0
+	}
+	if got := counter("switches_done"); got != h.ctl.Stats.SwitchesDone {
+		t.Errorf("switches_done = %d, Stats = %d", got, h.ctl.Stats.SwitchesDone)
+	}
+	if got := counter("switches_started"); got != h.ctl.Stats.SwitchesStarted {
+		t.Errorf("switches_started = %d, Stats = %d", got, h.ctl.Stats.SwitchesStarted)
+	}
+	if done := counter("switches_done"); done != uint64(len(h.ctl.History)) {
+		t.Errorf("switches_done = %d, history has %d records", done, len(h.ctl.History))
+	}
+	sum := snap.SwitchSummary()
+	if sum.Completed != int(h.ctl.Stats.SwitchesDone) {
+		t.Errorf("completed spans = %d, Stats.SwitchesDone = %d", sum.Completed, h.ctl.Stats.SwitchesDone)
+	}
+	if sum.Completed > 0 && sum.MedianNS <= 0 {
+		t.Errorf("completed spans but median duration %d ns", sum.MedianNS)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"wgtt/internal/controller"
 	"wgtt/internal/csi"
 	"wgtt/internal/mac"
+	"wgtt/internal/metrics"
 	"wgtt/internal/mobility"
 	"wgtt/internal/packet"
 	"wgtt/internal/radio"
@@ -61,6 +62,10 @@ type Network struct {
 	// snrScratch is the reusable per-subcarrier sample buffer for the probe
 	// plane and the ESNR evaluation hooks (single simulation goroutine).
 	snrScratch []float64
+
+	// Metrics is the observability registry attached by EnableMetrics
+	// (nil — recording disabled — by default; DESIGN.md §10).
+	Metrics *metrics.Registry
 }
 
 // Build assembles a scenario into a Network.
@@ -289,6 +294,35 @@ func Build(s Scenario) (*Network, error) {
 	return n, nil
 }
 
+// EnableMetrics attaches a fresh observability registry to the network —
+// controller selection/dedup instruments and switch-protocol spans, per-AP
+// queue/Block-ACK/keepalive instruments, per-client keepalive counters —
+// and returns it. Call before Run; snapshot after. Recording is off until
+// this is called, and the instrumented hot paths stay allocation-free
+// either way (DESIGN.md §10).
+func (n *Network) EnableMetrics() *metrics.Registry {
+	return n.EnableMetricsInto(metrics.NewRegistry())
+}
+
+// EnableMetricsInto wires this network's components into an existing
+// registry, so one registry can aggregate several sequential runs (the
+// experiment harness does this). The registry must not be shared across
+// concurrently running networks: like the simulation itself, it is
+// single-goroutine.
+func (n *Network) EnableMetricsInto(r *metrics.Registry) *metrics.Registry {
+	n.Metrics = r
+	if n.Ctl != nil {
+		n.Ctl.UseMetrics(r)
+	}
+	for _, a := range n.APs {
+		a.UseMetrics(r)
+	}
+	for i, cl := range n.Clients {
+		cl.UseMetrics(r, fmt.Sprintf("client%d", i+1))
+	}
+	return r
+}
+
 // retuneClient moves a client's radio to its new serving AP's channel.
 func (n *Network) retuneClient(rec controller.SwitchRecord) {
 	id, ok := n.clientByMAC[rec.Client]
@@ -438,7 +472,11 @@ func (n *Network) ClientESNR(clientID, apID int, at sim.Time) float64 {
 }
 
 // Run advances the simulation to the scenario duration.
-func (n *Network) Run() { n.Eng.RunUntil(n.Scenario.Duration) }
+func (n *Network) Run() {
+	n.Eng.RunUntil(n.Scenario.Duration)
+	// The covered duration turns counters into rates in metrics.Fprint.
+	n.Metrics.AddDuration(int64(n.Scenario.Duration))
+}
 
 // RunUntil advances to an arbitrary time.
 func (n *Network) RunUntil(t sim.Time) { n.Eng.RunUntil(t) }

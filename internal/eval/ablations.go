@@ -29,7 +29,7 @@ func AblationBAForwarding(opt Options) (*AblationResult, error) {
 	run := func(enabled bool) (float64, float64, error) {
 		s := core.DriveScenario(core.ModeWGTT, 15, opt.Seed)
 		s.BAForwarding = &enabled
-		n, err := core.Build(s)
+		n, err := opt.build(s)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -70,7 +70,7 @@ func AblationUplinkDiversity(opt Options) (*AblationResult, error) {
 	run := func(enabled bool) (float64, error) {
 		s := core.DriveScenario(core.ModeWGTT, 15, opt.Seed)
 		s.UplinkDiversity = &enabled
-		n, err := core.Build(s)
+		n, err := opt.build(s)
 		if err != nil {
 			return 0, err
 		}
@@ -128,7 +128,7 @@ func AblationFanout(opt Options) (*AblationResult, error) {
 		cfg := controllerConfigWith(40 * sim.Millisecond)
 		cfg.FanoutWindow = fanout
 		s.Controller = &cfg
-		n, err := core.Build(s)
+		n, err := opt.build(s)
 		if err != nil {
 			return 0, err
 		}

@@ -31,7 +31,7 @@ func Table4VideoRebuffer(opt Options) (*Table4Result, error) {
 	for _, v := range speeds {
 		for _, mode := range []core.Mode{core.ModeWGTT, core.ModeBaseline} {
 			s := core.DriveScenario(mode, v, opt.Seed)
-			n, err := core.Build(s)
+			n, err := opt.build(s)
 			if err != nil {
 				return nil, err
 			}
@@ -92,7 +92,7 @@ func Fig24ConferenceFPS(opt Options) (*Fig24Result, error) {
 		for _, v := range speeds {
 			for _, mode := range []core.Mode{core.ModeWGTT, core.ModeBaseline} {
 				s := core.DriveScenario(mode, v, opt.Seed)
-				n, err := core.Build(s)
+				n, err := opt.build(s)
 				if err != nil {
 					return nil, err
 				}
@@ -152,7 +152,7 @@ func Table5PageLoad(opt Options) (*Table5Result, error) {
 			failed := 0
 			for run := 0; run < runs; run++ {
 				s := core.DriveScenario(mode, v, opt.Seed+uint64(run)*101)
-				n, err := core.Build(s)
+				n, err := opt.build(s)
 				if err != nil {
 					return nil, err
 				}

@@ -31,7 +31,7 @@ func ExtMultiChannel(opt Options) (*ExtMultiChannelResult, error) {
 	for _, c := range chans {
 		s := core.MultiClientScenario(core.ModeWGTT, mobility.Following, 3, 15, opt.Seed)
 		s.Channels = c
-		n, err := core.Build(s)
+		n, err := opt.build(s)
 		if err != nil {
 			return nil, err
 		}
@@ -96,7 +96,7 @@ func ExtControlLoss(opt Options) (*ExtControlLossResult, error) {
 	for _, lr := range rates {
 		s := core.DriveScenario(core.ModeWGTT, 15, opt.Seed)
 		s.ControlLossRate = lr
-		n, err := core.Build(s)
+		n, err := opt.build(s)
 		if err != nil {
 			return nil, err
 		}
@@ -142,7 +142,7 @@ func ExtOmni(opt Options) (*ExtOmniResult, error) {
 	for _, omni := range []bool{false, true} {
 		s := core.DriveScenario(core.ModeWGTT, 15, opt.Seed)
 		s.OmniAPs = omni
-		n, err := core.Build(s)
+		n, err := opt.build(s)
 		if err != nil {
 			return nil, err
 		}
@@ -231,7 +231,7 @@ func ExtScale(opt Options) (*ExtScaleResult, error) {
 			}},
 			Duration: mobility.TransitDuration(l.pos, 25, 10) + 2*sim.Second,
 		}
-		n, err := core.Build(s)
+		n, err := opt.build(s)
 		if err != nil {
 			return nil, err
 		}

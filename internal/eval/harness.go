@@ -10,6 +10,7 @@ import (
 
 	"wgtt/internal/controller"
 	"wgtt/internal/core"
+	"wgtt/internal/metrics"
 	"wgtt/internal/sim"
 )
 
@@ -20,6 +21,15 @@ type Options struct {
 	// Quick trims sweeps (fewer points, shorter runs) for benchmarks and
 	// smoke tests; the full settings reproduce the paper's axes.
 	Quick bool
+	// Metrics, when non-nil, receives every built network's instrument
+	// recordings (DESIGN.md §10). Experiments run single-goroutine, so one
+	// registry per experiment; an experiment that builds several networks
+	// accumulates them all into the same registry.
+	Metrics *metrics.Registry
+	// CollectMetrics makes RunAll attach a fresh registry to each
+	// experiment (registries are not safe to share across workers) and
+	// return the per-experiment snapshots on RunOutput.Metrics.
+	CollectMetrics bool
 }
 
 // DefaultOptions runs the full experiment.
@@ -42,10 +52,23 @@ func throughput(bytes uint64, dur sim.Time) float64 {
 	return float64(bytes) * 8 / 1e6 / dur.Seconds()
 }
 
-// driveUDP runs one drive with a downlink CBR flow and returns goodput.
-func driveUDP(mode core.Mode, speedMPH, rateMbps float64, seed uint64) (float64, *core.Network, error) {
-	s := core.DriveScenario(mode, speedMPH, seed)
+// build constructs the scenario's network, wiring it into opt.Metrics when
+// metrics collection is enabled.
+func (opt Options) build(s core.Scenario) (*core.Network, error) {
 	n, err := core.Build(s)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Metrics != nil {
+		n.EnableMetricsInto(opt.Metrics)
+	}
+	return n, nil
+}
+
+// driveUDP runs one drive with a downlink CBR flow and returns goodput.
+func driveUDP(mode core.Mode, speedMPH, rateMbps float64, opt Options) (float64, *core.Network, error) {
+	s := core.DriveScenario(mode, speedMPH, opt.Seed)
+	n, err := opt.build(s)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -56,9 +79,9 @@ func driveUDP(mode core.Mode, speedMPH, rateMbps float64, seed uint64) (float64,
 }
 
 // driveTCP runs one drive with a bulk downlink TCP flow and returns goodput.
-func driveTCP(mode core.Mode, speedMPH float64, seed uint64) (float64, *core.Network, error) {
-	s := core.DriveScenario(mode, speedMPH, seed)
-	n, err := core.Build(s)
+func driveTCP(mode core.Mode, speedMPH float64, opt Options) (float64, *core.Network, error) {
+	s := core.DriveScenario(mode, speedMPH, opt.Seed)
+	n, err := opt.build(s)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"wgtt/internal/fleet"
+	"wgtt/internal/metrics"
 )
 
 // RunOutput is one experiment's rendered artifact.
@@ -17,6 +18,9 @@ type RunOutput struct {
 	// Elapsed is wall-clock cost; callers must keep it out of any output
 	// that is compared across runs.
 	Elapsed time.Duration
+	// Metrics is the experiment's observability snapshot, present only when
+	// RunAll was asked to collect metrics (opt.CollectMetrics).
+	Metrics *metrics.Snapshot
 }
 
 // RunAll executes the experiment registry — or just the ids given — across
@@ -46,11 +50,21 @@ func RunAll(opt Options, workers int, ids []string) ([]RunOutput, error) {
 	outs := make([]RunOutput, len(selected))
 	fleet.ForEach(len(selected), workers, func(i int) {
 		e := selected[i]
+		eopt := opt
+		if eopt.CollectMetrics {
+			// One registry per experiment: registries are single-goroutine,
+			// so sharing opt.Metrics across the pool would race.
+			eopt.Metrics = metrics.NewRegistry()
+		}
 		start := time.Now()
-		res, err := e.Run(opt)
+		res, err := e.Run(eopt)
 		out := RunOutput{ID: e.ID, Title: e.Title, Err: err, Elapsed: time.Since(start)}
 		if err == nil {
 			out.Text = res.Render()
+		}
+		if eopt.CollectMetrics {
+			snap := eopt.Metrics.Snapshot()
+			out.Metrics = &snap
 		}
 		outs[i] = out
 	})

@@ -31,7 +31,7 @@ type Fig02Result struct {
 // best-AP choice changes.
 func Fig02BestAPChurn(opt Options) (*Fig02Result, error) {
 	s := core.DriveScenario(core.ModeWGTT, 25, opt.Seed)
-	n, err := core.Build(s)
+	n, err := opt.build(s)
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +97,7 @@ func Fig04RoamingFailure(opt Options) (*Fig04Result, error) {
 	res := &Fig04Result{}
 	for _, v := range []float64{5, 20} {
 		s := core.DriveScenario(core.ModeBaseline, v, opt.Seed)
-		n, err := core.Build(s)
+		n, err := opt.build(s)
 		if err != nil {
 			return nil, err
 		}
@@ -154,7 +154,7 @@ func Table1SwitchTime(opt Options) (*Table1Result, error) {
 	res := &Table1Result{}
 	for _, rate := range rates {
 		s := core.DriveScenario(core.ModeWGTT, 15, opt.Seed+uint64(rate))
-		n, err := core.Build(s)
+		n, err := opt.build(s)
 		if err != nil {
 			return nil, err
 		}
@@ -203,7 +203,7 @@ func Table2SwitchingAccuracy(opt Options) (*Table2Result, error) {
 		row := Table2Row{Proto: proto(tcp)}
 		for _, mode := range []core.Mode{core.ModeWGTT, core.ModeBaseline} {
 			s := core.DriveScenario(mode, 15, opt.Seed)
-			n, err := core.Build(s)
+			n, err := opt.build(s)
 			if err != nil {
 				return nil, err
 			}
@@ -448,7 +448,7 @@ func Fig10Heatmap(opt Options) (*Fig10Result, error) {
 		Mode: core.ModeWGTT, Seed: opt.Seed, Duration: sim.Second,
 		Clients: []core.ClientSpec{{Trace: mobility.DriveBy(-5, 0, 15), SpeedMPH: 15}},
 	}
-	n, err := core.Build(s)
+	n, err := opt.build(s)
 	if err != nil {
 		return nil, err
 	}

@@ -32,19 +32,19 @@ func Fig13ThroughputVsSpeed(opt Options) (*Fig13Result, error) {
 	}
 	res := &Fig13Result{SpeedsMPH: speeds}
 	for _, v := range speeds {
-		tw, _, err := driveTCP(core.ModeWGTT, v, opt.Seed)
+		tw, _, err := driveTCP(core.ModeWGTT, v, opt)
 		if err != nil {
 			return nil, err
 		}
-		tb, _, err := driveTCP(core.ModeBaseline, v, opt.Seed)
+		tb, _, err := driveTCP(core.ModeBaseline, v, opt)
 		if err != nil {
 			return nil, err
 		}
-		uw, _, err := driveUDP(core.ModeWGTT, v, offeredUDPMbps, opt.Seed)
+		uw, _, err := driveUDP(core.ModeWGTT, v, offeredUDPMbps, opt)
 		if err != nil {
 			return nil, err
 		}
-		ub, _, err := driveUDP(core.ModeBaseline, v, offeredUDPMbps, opt.Seed)
+		ub, _, err := driveUDP(core.ModeBaseline, v, offeredUDPMbps, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -102,7 +102,7 @@ func Fig15UDPTimeline(mode core.Mode, opt Options) (*TimelineResult, error) {
 
 func timeline(mode core.Mode, opt Options, tcp bool) (*TimelineResult, error) {
 	s := core.DriveScenario(mode, 15, opt.Seed)
-	n, err := core.Build(s)
+	n, err := opt.build(s)
 	if err != nil {
 		return nil, err
 	}
@@ -201,7 +201,7 @@ func Fig16BitrateCDF(opt Options) (*Fig16Result, error) {
 	for _, mode := range []core.Mode{core.ModeWGTT, core.ModeBaseline} {
 		for _, tcp := range []bool{true, false} {
 			s := core.DriveScenario(mode, 15, opt.Seed)
-			n, err := core.Build(s)
+			n, err := opt.build(s)
 			if err != nil {
 				return nil, err
 			}
@@ -260,7 +260,7 @@ func Fig17MultiClient(opt Options) (*Fig17Result, error) {
 		for _, mode := range []core.Mode{core.ModeWGTT, core.ModeBaseline} {
 			for _, tcp := range []bool{true, false} {
 				s := core.MultiClientScenario(mode, mobility.Following, nc, 15, opt.Seed)
-				n, err := core.Build(s)
+				n, err := opt.build(s)
 				if err != nil {
 					return nil, err
 				}
@@ -320,7 +320,7 @@ func Fig20DrivingPatterns(opt Options) (*Fig20Result, error) {
 		for _, mode := range []core.Mode{core.ModeWGTT, core.ModeBaseline} {
 			for _, tcp := range []bool{true, false} {
 				s := core.MultiClientScenario(mode, p, 2, 15, opt.Seed)
-				n, err := core.Build(s)
+				n, err := opt.build(s)
 				if err != nil {
 					return nil, err
 				}
@@ -384,7 +384,7 @@ func Fig22Hysteresis(opt Options) (*Fig22Result, error) {
 		s := core.DriveScenario(core.ModeWGTT, 15, opt.Seed)
 		cfg := controllerConfigWith(T)
 		s.Controller = &cfg
-		n, err := core.Build(s)
+		n, err := opt.build(s)
 		if err != nil {
 			return nil, err
 		}
@@ -439,7 +439,7 @@ func Fig23APDensity(opt Options) (*Fig23Result, error) {
 				}
 				s.Clients[0].Trace = mobility.TransitDrive(pos, v, 8)
 				s.Duration = mobility.TransitDuration(pos, v, 8) + sim.Second
-				n, err := core.Build(s)
+				n, err := opt.build(s)
 				if err != nil {
 					return nil, err
 				}

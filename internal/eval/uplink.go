@@ -30,7 +30,7 @@ func Fig18UplinkLoss(opt Options) (*Fig18Result, error) {
 	res := &Fig18Result{BinSeconds: 1}
 	for _, mode := range []core.Mode{core.ModeWGTT, core.ModeBaseline} {
 		s := core.MultiClientScenario(mode, mobility.Following, nClients, 15, opt.Seed)
-		n, err := core.Build(s)
+		n, err := opt.build(s)
 		if err != nil {
 			return nil, err
 		}
@@ -119,7 +119,7 @@ func Table3AckCollision(opt Options) (*Table3Result, error) {
 	res := &Table3Result{}
 	for _, rate := range rates {
 		s := core.DriveScenario(core.ModeWGTT, 15, opt.Seed+uint64(rate))
-		n, err := core.Build(s)
+		n, err := opt.build(s)
 		if err != nil {
 			return nil, err
 		}

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 
 	"wgtt/internal/core"
+	"wgtt/internal/metrics"
 	"wgtt/internal/mobility"
 	"wgtt/internal/sim"
 	"wgtt/internal/trace"
@@ -44,6 +45,11 @@ type CellResult struct {
 	// TraceFile and TraceEvents are set when per-cell tracing is enabled.
 	TraceFile   string
 	TraceEvents int
+
+	// Metrics is the cell's observability snapshot, set when cfg.Metrics is
+	// enabled. It is kept out of Report rendering so the determinism
+	// contract's byte-identical output is unaffected.
+	Metrics *metrics.Snapshot
 }
 
 // RunCell plans, builds, and runs one corridor cell to completion. It is
@@ -80,6 +86,9 @@ func RunCell(cfg Config, cell int) (CellResult, error) {
 	n, err := core.Build(s)
 	if err != nil {
 		return CellResult{}, fmt.Errorf("fleet: cell %d: %w", cell, err)
+	}
+	if cfg.Metrics {
+		n.EnableMetrics()
 	}
 
 	res := CellResult{
@@ -180,6 +189,10 @@ func RunCell(cfg Config, cell int) (CellResult, error) {
 			return CellResult{}, fmt.Errorf("fleet: cell %d trace: %w", cell, err)
 		}
 		res.TraceEvents = rec.N
+	}
+	if n.Metrics != nil {
+		snap := n.Metrics.Snapshot()
+		res.Metrics = &snap
 	}
 	return res, nil
 }

@@ -65,6 +65,12 @@ type Config struct {
 	// TraceDir, when non-empty, writes one JSONL event trace per cell
 	// (cell-0000.jsonl, …) via internal/trace.
 	TraceDir string
+
+	// Metrics enables per-cell observability recording (internal/metrics):
+	// each cell gets its own registry and reports a snapshot on
+	// CellResult.Metrics. Purely additive — the deployment report text is
+	// unchanged, preserving the byte-identical determinism contract.
+	Metrics bool
 }
 
 // minHeadwayS is the minimum inter-arrival gap in seconds — the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"wgtt/internal/metrics"
 	"wgtt/internal/stats"
 )
 
@@ -30,6 +31,23 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	return &Result{Cfg: cfg, Cells: cells}, nil
+}
+
+// MergedMetrics combines the per-cell observability snapshots in cell index
+// order (nil when cfg.Metrics was off). Cell order — not completion order —
+// keeps the merged snapshot deterministic across worker counts.
+func (r *Result) MergedMetrics() *metrics.Snapshot {
+	var snaps []metrics.Snapshot
+	for i := range r.Cells {
+		if r.Cells[i].Metrics != nil {
+			snaps = append(snaps, *r.Cells[i].Metrics)
+		}
+	}
+	if len(snaps) == 0 {
+		return nil
+	}
+	merged := metrics.Merge(snaps...)
+	return &merged
 }
 
 // Render produces the deployment report. It must stay a pure function of

@@ -1,8 +1,9 @@
 // Package mobility models the road geometry and client motion of the WGTT
-// testbed: a straight transit corridor with APs deployed alongside it and
-// vehicular clients driving past at 0–35 mph. Traces report position,
-// heading, and speed as pure functions of virtual time, so the radio layer
-// can sample them at arbitrary (millisecond) granularity.
+// testbed (§2, §4.2): a straight transit corridor with APs deployed
+// alongside it at the §4.2 deployment's ~7.5 m mean spacing and vehicular
+// clients driving past at the 0–35 mph speeds of the §5 drives. Traces
+// report position, heading, and speed as pure functions of virtual time, so
+// the radio layer can sample them at arbitrary (millisecond) granularity.
 package mobility
 
 import (

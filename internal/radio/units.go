@@ -1,10 +1,11 @@
-// Package radio models the wireless channel of the WGTT testbed: log-
-// distance path loss, the 21°-beamwidth parabolic AP antennas, and
-// temporally-correlated, frequency-selective Rayleigh fading (a Jakes
-// sum-of-sinusoids process over a tapped delay line).
+// Package radio models the wireless channel of the WGTT testbed (§2,
+// §4.2): log-distance path loss, the 21°-beamwidth parabolic AP antennas of
+// the §4.2 deployment, and temporally-correlated, frequency-selective
+// Rayleigh fading (a Jakes sum-of-sinusoids process over a tapped delay
+// line).
 //
 // The model is built to reproduce the two phenomena of the paper's Fig. 2
-// that define the vehicular picocell regime: second-scale fading with
+// (§2) that define the vehicular picocell regime: second-scale fading with
 // distance as a car crosses a cell, and millisecond-scale fast fading from
 // constructive/destructive multipath (coherence time ≈ 2–3 ms at 2.4 GHz),
 // which together flip the best-AP choice every few milliseconds.

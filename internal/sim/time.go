@@ -4,7 +4,11 @@
 //
 // All simulated components (radio channel, MAC, APs, controller, transports)
 // share one Engine and advance strictly in virtual-time order, which makes
-// every experiment in the paper reproducible from a single seed.
+// every experiment in the paper's evaluation (§5) reproducible from a
+// single seed. The engine has no paper counterpart of its own — it is the
+// substrate the §3 system and §5 experiments run on; its timers pace the
+// protocol deadlines (the §3.1.2 30 ms stop-retransmission timeout, the
+// §3.1.1 10 ms selection window).
 package sim
 
 import (

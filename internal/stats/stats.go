@@ -1,7 +1,8 @@
 // Package stats provides the measurement utilities the evaluation harness
-// uses to turn packet logs into the paper's tables and figures: binned
-// throughput time series, empirical CDFs and quantiles, and small summary
-// helpers.
+// uses to turn packet logs into the paper's tables and figures (§5): binned
+// throughput time series (the Fig. 14/15 timelines), empirical CDFs and
+// quantiles (the Fig. 16 bitrate and §7 fleet distributions), and small
+// summary helpers.
 package stats
 
 import (

@@ -4,6 +4,13 @@
 // controller and the client with tcpdump and post-processes them; this
 // recorder plays the same role for simulated runs, producing a stream any
 // external tool can analyze.
+//
+// trace is the per-event plane of the repo's observability story;
+// internal/metrics is the aggregated plane (counters, histograms, and
+// per-switch §3.1.2 spans). Use a trace when you need every packet in
+// order, a metrics snapshot when you need rates, distributions, and the
+// Table 1 switch-timing digest — they attach independently (`-trace` vs
+// `-metrics` on the CLIs) and neither perturbs the simulation.
 package trace
 
 import (
