@@ -11,6 +11,7 @@
 //	wgtt-experiments -quick         # trimmed sweeps
 //	wgtt-experiments -workers 8     # parallel regeneration
 //	wgtt-experiments fig13 table2   # run selected artifacts
+//	wgtt-experiments -chaos         # just the fault-injection experiment
 //	wgtt-experiments -list
 package main
 
@@ -29,6 +30,7 @@ func main() {
 	var (
 		quick      = flag.Bool("quick", false, "trimmed sweeps")
 		list       = flag.Bool("list", false, "list experiment IDs")
+		chaosOnly  = flag.Bool("chaos", false, "run only the fault-injection experiment (ext-resilience)")
 		seed       = flag.Uint64("seed", 2017, "base seed")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiments")
 		metricsOut = flag.String("metrics", "",
@@ -50,7 +52,11 @@ func main() {
 	}
 	defer stopProf()
 	opt := eval.Options{Seed: *seed, Quick: *quick, CollectMetrics: *metricsOut != ""}
-	outs, err := eval.RunAll(opt, *workers, flag.Args())
+	ids := flag.Args()
+	if *chaosOnly {
+		ids = append(ids, "ext-resilience")
+	}
+	outs, err := eval.RunAll(opt, *workers, ids)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		stopProf()

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"wgtt/internal/chaos"
 	"wgtt/internal/fleet"
 	"wgtt/internal/profiling"
 	"wgtt/internal/sim"
@@ -44,7 +45,9 @@ func main() {
 		traceDir   = flag.String("trace-dir", "", "write per-cell JSONL event traces here")
 		metricsOut = flag.String("metrics", "",
 			"write a merged metrics snapshot (JSON) to this file; '-' prints a table to stdout")
-		prof = profiling.AddFlags()
+		chaosOn   = flag.Bool("chaos", false, "inject deterministic faults into every cell (DESIGN.md §11)")
+		chaosMTBF = flag.Float64("chaos-ap-mtbf", 60, "AP-crash mean time between failures per cell, seconds")
+		prof      = profiling.AddFlags()
 	)
 	flag.Parse()
 
@@ -83,6 +86,11 @@ func main() {
 		UDPRateMbps:    *udpRate,
 		TraceDir:       *traceDir,
 		Metrics:        *metricsOut != "",
+	}
+	if *chaosOn {
+		ccfg := chaos.DefaultConfig()
+		ccfg.APCrashMTBF = sim.FromSeconds(*chaosMTBF)
+		cfg.Chaos = &ccfg
 	}
 	start := time.Now()
 	res, err := fleet.Run(cfg)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"wgtt/internal/chaos"
 	"wgtt/internal/core"
 	"wgtt/internal/mobility"
 	"wgtt/internal/sim"
@@ -30,6 +31,9 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a JSONL event trace to this file")
 		metricsOut = flag.String("metrics", "",
 			"write a metrics snapshot (JSON) to this file; '-' prints a table to stdout")
+		chaosOn       = flag.Bool("chaos", false, "enable deterministic fault injection (DESIGN.md §11)")
+		chaosMTBF     = flag.Float64("chaos-ap-mtbf", 60, "AP-crash mean time between failures, seconds")
+		chaosDowntime = flag.Float64("chaos-downtime", 2, "AP downtime before restart, seconds")
 	)
 	flag.Parse()
 
@@ -49,6 +53,12 @@ func main() {
 			pat = mobility.Opposing
 		}
 		s = core.MultiClientScenario(mode, pat, *clients, *speed, *seed)
+	}
+	if *chaosOn {
+		ccfg := chaos.DefaultConfig()
+		ccfg.APCrashMTBF = sim.FromSeconds(*chaosMTBF)
+		ccfg.APDowntime = sim.FromSeconds(*chaosDowntime)
+		s.Chaos = &ccfg
 	}
 	n, err := core.Build(s)
 	if err != nil {
@@ -120,6 +130,16 @@ func main() {
 	}
 	fmt.Printf("medium: %.0f%% airtime, %d tx collisions, %d/%d response collisions\n",
 		100*n.Medium.Utilization(), n.Medium.TxCollisions, n.Medium.RespCollisions, n.Medium.RespTotal)
+	if n.Chaos != nil {
+		cs := n.Chaos.Stats
+		fmt.Printf("chaos: %d AP crashes (%d restarts, %d skipped), %d burst drops, %d CSI-blackout drops\n",
+			cs.APCrashes, cs.APRestarts, cs.CrashesSkipped, cs.BurstDrops, cs.BlackoutDrops)
+		if n.Ctl != nil {
+			st := n.Ctl.Stats
+			fmt.Printf("recovery: %d APs marked dead, %d readmitted, %d forced switches, %d health probes\n",
+				st.APsMarkedDead, st.APsReadmitted, st.ForcedSwitches, st.HealthProbes)
+		}
+	}
 	if *metricsOut != "" {
 		snap := n.Metrics.Snapshot()
 		if err := snap.WriteFile(*metricsOut); err != nil {

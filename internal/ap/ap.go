@@ -95,6 +95,9 @@ type Stats struct {
 	BADuplicates    uint64 // forwarded Block ACKs discarded as already seen
 	UplinkForwarded uint64 // uplink packets tunneled to the controller
 	CSIReports      uint64
+	Crashes         uint64 // chaos-injected failures (DESIGN.md §11)
+	Restarts        uint64
+	ProbesAnswered  uint64 // controller health probes acknowledged
 }
 
 // clientState is everything this AP tracks for one mobile client.
@@ -153,6 +156,10 @@ type AP struct {
 
 	clients map[packet.MACAddr]*clientState
 	rr      []packet.MACAddr // round-robin order over serving clients
+
+	// down is true while a chaos-injected crash holds the AP off the air
+	// and off the backhaul (DESIGN.md §11).
+	down bool
 
 	Stats Stats
 
@@ -279,6 +286,50 @@ func (a *AP) Associate(client packet.MACAddr, ip packet.IPv4Addr, serving bool) 
 	cs.serving = serving
 }
 
+// Down reports whether the AP is currently crashed.
+func (a *AP) Down() bool { return a.down }
+
+// Crash fails the AP: it stops receiving backhaul messages, stops
+// transmitting, and stops acknowledging client frames (its radio falls
+// silent, so the client's rate adaptation and the controller's health
+// monitor both see it disappear). In-memory queue state is left in place
+// only to be discarded by Restart — the paper's APs keep the cyclic queue
+// in RAM, so a power cycle loses it (DESIGN.md §11).
+func (a *AP) Crash() {
+	if a.down {
+		return
+	}
+	a.down = true
+	a.Stats.Crashes++
+	// Installed lazily on first crash so never-crashed runs keep the
+	// filter-free ACK fast path.
+	a.st.SetRespondFilter(func(packet.MACAddr) bool { return !a.down })
+}
+
+// Restart brings a crashed AP back with cold queues: every client's ring,
+// cursors, retry/drain queues, and Block ACK scoreboard reset, and the AP
+// serving nobody until a start(c, k) re-appoints it. Association identity
+// survives — §4.3 replicates it to every AP, so a rebooted AP re-learns
+// (client MAC, IP) from the shared store rather than from scratch.
+func (a *AP) Restart() {
+	if !a.down {
+		return
+	}
+	a.down = false
+	a.Stats.Restarts++
+	for _, cs := range a.clients {
+		cs.ring = make([]*packet.Packet, a.cfg.CyclicQueueSlots)
+		cs.nextSend, cs.head = 0, 0
+		cs.haveAny = false
+		cs.serving = false
+		cs.retryQ = nil
+		cs.drainQ = nil
+		cs.seenBA = make(map[uint64]bool)
+		cs.lastEnqueue = 0
+		cs.drainPending = false
+	}
+}
+
 func (a *AP) jitter() sim.Time {
 	if a.cfg.ProcessingJitter <= 0 {
 		return 0
@@ -291,6 +342,9 @@ func (a *AP) jitter() sim.Time {
 // modelled with their user-space processing delay; data tunneling is
 // immediate (it lands in a queue, not on the air).
 func (a *AP) HandleBackhaul(from packet.IPv4Addr, msg packet.Message) {
+	if a.down {
+		return
+	}
 	switch m := msg.(type) {
 	case *packet.DownData:
 		a.enqueueDownlink(m.Pkt)
@@ -302,6 +356,12 @@ func (a *AP) HandleBackhaul(from packet.IPv4Addr, msg packet.Message) {
 		a.handleForwardedBA(m)
 	case *packet.AssocSync:
 		a.Associate(m.Client, m.ClientIP, false)
+	case *packet.HealthProbe:
+		// Answered from the fast path, not the user-space control queue:
+		// liveness detection must not inherit the stop/start processing
+		// delay (DESIGN.md §11).
+		a.Stats.ProbesAnswered++
+		_ = a.bh.Send(a.cfg.IP, a.controller, &packet.HealthAck{AP: a.cfg.IP, Seq: m.Seq, At: m.At})
 	}
 }
 
@@ -390,6 +450,11 @@ func (cs *clientState) sent(idx uint16) bool {
 // AP. The MPDUs already committed to the in-flight A-MPDU still go out —
 // the paper's NIC-hardware-queue drain.
 func (a *AP) handleStop(m *packet.Stop) {
+	if a.down {
+		// The crash raced the already-queued processing delay: a dead AP
+		// answers nothing (the controller's timeout or failover handles it).
+		return
+	}
 	a.Stats.StopsHandled++
 	a.met.stops.Inc()
 	a.met.spans.MarkStopHandled(m.SwitchID, int64(a.eng.Now()))
@@ -437,6 +502,9 @@ func (a *AP) sendStart(m *packet.Stop, k uint16) {
 // handleStart is step (3) at the new AP: jump the cyclic-queue cursor to k,
 // take over transmission, and ack the controller.
 func (a *AP) handleStart(m *packet.Start) {
+	if a.down {
+		return
+	}
 	a.Stats.StartsHandled++
 	a.met.starts.Inc()
 	a.met.spans.MarkStartHandled(m.SwitchID, int64(a.eng.Now()))

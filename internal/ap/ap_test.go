@@ -414,3 +414,91 @@ func TestStopDrainsRetriesOnce(t *testing.T) {
 		t.Error("AP0 still serving after stop")
 	}
 }
+
+// A crashed AP must fall silent on both faces: no frames on the air, no
+// backhaul processing (a stop goes unanswered — the no-ack case the
+// controller's failover path exists for), and no probe acks. Restart must
+// come back with cold queues (DESIGN.md §11).
+func TestCrashSilencesAPAndRestartColdStarts(t *testing.T) {
+	h := newAPHarness(t, 2, 20)
+	client := packet.ClientMAC(1)
+	h.aps[0].Associate(client, packet.ClientIP(1), true)
+	h.aps[1].Associate(client, packet.ClientIP(1), false)
+
+	h.pushDownlink(50, 0)
+	h.eng.RunUntil(2 * sim.Millisecond)
+
+	h.aps[0].Crash()
+	if !h.aps[0].Down() {
+		t.Fatal("Down() false after Crash")
+	}
+	// A frame already committed to the air at the crash instant still
+	// lands (physics); let it settle, then nothing more may arrive.
+	h.eng.RunUntil(20 * sim.Millisecond)
+	deliveredBefore := len(h.csink.got)
+
+	// A stop sent to the crashed AP produces neither a start nor an ack.
+	stop := &packet.Stop{Client: client, NextAP: h.aps[1].Config().IP, SwitchID: 9}
+	_ = h.bh.Send(packet.ControllerIP, h.aps[0].Config().IP, stop)
+	// A probe goes unanswered too.
+	_ = h.bh.Send(packet.ControllerIP, h.aps[0].Config().IP, &packet.HealthProbe{Seq: 1})
+	h.eng.RunUntil(2 * sim.Second)
+
+	if got := len(h.csink.got); got != deliveredBefore {
+		t.Errorf("crashed AP kept transmitting: %d -> %d MPDUs", deliveredBefore, got)
+	}
+	if len(h.ctl.acks) != 0 {
+		t.Error("crashed AP produced a switch ack")
+	}
+	if h.aps[0].Stats.StopsHandled != 0 {
+		t.Error("crashed AP processed a stop")
+	}
+	if h.aps[0].Stats.ProbesAnswered != 0 {
+		t.Error("crashed AP answered a health probe")
+	}
+
+	// Restart: queues are cold, serving flag cleared, association kept.
+	h.aps[0].Restart()
+	if h.aps[0].Down() {
+		t.Fatal("Down() true after Restart")
+	}
+	if h.aps[0].Stats.Crashes != 1 || h.aps[0].Stats.Restarts != 1 {
+		t.Errorf("crash/restart counters = %d/%d", h.aps[0].Stats.Crashes, h.aps[0].Stats.Restarts)
+	}
+	if h.aps[0].Serving(client) {
+		t.Error("restarted AP still serving")
+	}
+	if d := h.aps[0].QueueDepth(client); d != 0 {
+		t.Errorf("restarted AP queue depth = %d, want 0 (ring state lost)", d)
+	}
+	cs := h.aps[0].client(client)
+	if cs.ip != packet.ClientIP(1) {
+		t.Error("association identity lost across restart")
+	}
+
+	// The restarted AP answers probes again.
+	_ = h.bh.Send(packet.ControllerIP, h.aps[0].Config().IP, &packet.HealthProbe{Seq: 2, At: 5})
+	h.eng.RunUntil(3 * sim.Second)
+	if h.aps[0].Stats.ProbesAnswered != 1 {
+		t.Error("restarted AP did not answer the probe")
+	}
+}
+
+// A healthy AP answers probes immediately with the probe's Seq/At echoed.
+func TestHealthProbeAnswered(t *testing.T) {
+	h := newAPHarness(t, 1, 20)
+	acks := 0
+	h.bh.Attach(packet.ControllerIP, backhaul.NodeFunc(func(_ packet.IPv4Addr, msg packet.Message) {
+		if a, ok := msg.(*packet.HealthAck); ok {
+			acks++
+			if a.Seq != 7 || a.At != 123 || a.AP != h.aps[0].Config().IP {
+				t.Errorf("ack fields wrong: %+v", a)
+			}
+		}
+	}))
+	_ = h.bh.Send(packet.ControllerIP, h.aps[0].Config().IP, &packet.HealthProbe{Seq: 7, At: 123})
+	h.eng.RunUntil(10 * sim.Millisecond)
+	if acks != 1 {
+		t.Fatalf("got %d health acks, want 1", acks)
+	}
+}

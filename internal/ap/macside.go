@@ -16,6 +16,9 @@ import (
 // at this instant, not earlier, which is what gives the stop protocol its
 // bite: a quenched client simply yields no MPDUs.
 func (a *AP) BuildFrame() *mac.Frame {
+	if a.down {
+		return nil // a crashed AP's radio is silent (DESIGN.md §11)
+	}
 	cs := a.pickClient()
 	if cs == nil {
 		return nil
@@ -131,6 +134,11 @@ func (a *AP) hasWork() bool {
 // OnTxDone implements mac.Source: score the aggregate against the Block ACK
 // (if any), requeue or drop the rest, feed rate control.
 func (a *AP) OnTxDone(res *mac.TxResult) {
+	if a.down {
+		// A frame completed as the crash hit: whatever retry state this
+		// would produce dies with the AP (Restart wipes it anyway).
+		return
+	}
 	if res == nil || res.Frame == nil {
 		if a.hasWork() {
 			a.st.Kick()
@@ -179,6 +187,9 @@ func (a *AP) OnTxDone(res *mac.TxResult) {
 // OnFrame implements mac.Sink: uplink data tunneling (§3.2.2) and per-frame
 // CSI reporting (§3.1.1).
 func (a *AP) OnFrame(ev *mac.RxEvent) {
+	if a.down {
+		return // a crashed AP hears nothing
+	}
 	if a.isAPAddr(ev.From) {
 		return // another AP's downlink; nothing to do
 	}
@@ -216,6 +227,9 @@ func (a *AP) OnFrame(ev *mac.RxEvent) {
 // client's serving AP (we broadcast to all peers; only the serving AP
 // merges).
 func (a *AP) OnBlockAck(ev *mac.BAEvent) {
+	if a.down {
+		return
+	}
 	if a.isAPAddr(ev.Responder) {
 		return // an AP acknowledging uplink data; not client state
 	}

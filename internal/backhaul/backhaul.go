@@ -40,8 +40,15 @@ type Switch struct {
 	Verify bool
 
 	// Drop, if non-nil, is consulted per message; returning true discards
-	// it (control-loss failure injection).
+	// it (control-loss failure injection). Compose multiple hooks with
+	// Chain.
 	Drop func(to packet.IPv4Addr, msg packet.Message) bool
+
+	// Delay, if non-nil, returns extra one-way latency added to this
+	// message on top of the base switch latency (backhaul congestion /
+	// latency-spike injection, DESIGN.md §11). Non-positive returns add
+	// nothing.
+	Delay func(to packet.IPv4Addr, msg packet.Message) sim.Time
 
 	sent    uint64
 	dropped uint64
@@ -92,7 +99,13 @@ func (s *Switch) Send(from, to packet.IPv4Addr, msg packet.Message) error {
 		deliver = decoded
 	}
 	s.sent++
-	s.eng.After(s.latency, func() { node.HandleBackhaul(from, deliver) })
+	lat := s.latency
+	if s.Delay != nil {
+		if d := s.Delay(to, msg); d > 0 {
+			lat += d
+		}
+	}
+	s.eng.After(lat, func() { node.HandleBackhaul(from, deliver) })
 	return nil
 }
 
@@ -115,6 +128,36 @@ func (s *Switch) Stats() (sent, dropped, bytes uint64) { return s.sent, s.droppe
 // with probability p, using the given stream.
 func RandomDrop(p float64, rnd *rand.Rand) func(packet.IPv4Addr, packet.Message) bool {
 	return func(packet.IPv4Addr, packet.Message) bool { return rnd.Float64() < p }
+}
+
+// Chain composes drop hooks: a message is dropped if any hook drops it.
+// Nil hooks are skipped, so Chain(sw.Drop, extra) composes with whatever is
+// (or isn't) already installed — fault injection no longer clobbers a hook
+// a scenario or test installed first. Hooks run in argument order and
+// evaluation stops at the first hook that drops, so any RNG draws made by
+// later hooks happen only for messages the earlier hooks let through;
+// given a fixed message sequence the composition is still deterministic.
+func Chain(hooks ...func(packet.IPv4Addr, packet.Message) bool) func(packet.IPv4Addr, packet.Message) bool {
+	var active []func(packet.IPv4Addr, packet.Message) bool
+	for _, h := range hooks {
+		if h != nil {
+			active = append(active, h)
+		}
+	}
+	switch len(active) {
+	case 0:
+		return nil
+	case 1:
+		return active[0]
+	}
+	return func(to packet.IPv4Addr, msg packet.Message) bool {
+		for _, h := range active {
+			if h(to, msg) {
+				return true
+			}
+		}
+		return false
+	}
 }
 
 // DropTypes returns a Drop hook that discards messages of the listed types

@@ -151,6 +151,96 @@ func TestDropTypesSelective(t *testing.T) {
 	}
 }
 
+func TestChainComposesHooks(t *testing.T) {
+	dropStop := func(_ packet.IPv4Addr, m packet.Message) bool { return m.Type() == packet.MsgStop }
+	dropStart := func(_ packet.IPv4Addr, m packet.Message) bool { return m.Type() == packet.MsgStart }
+	chained := Chain(dropStop, nil, dropStart)
+	if !chained(packet.APIP(1), &packet.Stop{}) || !chained(packet.APIP(1), &packet.Start{}) {
+		t.Error("chained hook let a listed type through")
+	}
+	if chained(packet.APIP(1), &packet.SwitchAck{}) {
+		t.Error("chained hook dropped an unlisted type")
+	}
+}
+
+func TestChainShortCircuits(t *testing.T) {
+	calls := 0
+	first := func(packet.IPv4Addr, packet.Message) bool { return true }
+	second := func(packet.IPv4Addr, packet.Message) bool { calls++; return false }
+	if !Chain(first, second)(packet.APIP(1), &packet.Stop{}) {
+		t.Fatal("drop lost in composition")
+	}
+	if calls != 0 {
+		t.Error("later hook consulted after an earlier hook already dropped")
+	}
+}
+
+func TestChainDegenerateCases(t *testing.T) {
+	if Chain() != nil || Chain(nil, nil) != nil {
+		t.Error("all-nil chain should be nil (no hook installed)")
+	}
+	only := func(packet.IPv4Addr, packet.Message) bool { return true }
+	got := Chain(nil, only)
+	if got == nil || !got(packet.APIP(1), &packet.Stop{}) {
+		t.Error("single-hook chain should behave as the hook itself")
+	}
+}
+
+func TestDelayHookAddsLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, 200*sim.Microsecond)
+	rec := &recorder{eng: eng}
+	sw.Attach(packet.APIP(1), rec)
+	sw.Delay = func(_ packet.IPv4Addr, m packet.Message) sim.Time {
+		if m.Type() == packet.MsgStop {
+			return 5 * sim.Millisecond
+		}
+		return 0
+	}
+	_ = sw.Send(packet.ControllerIP, packet.APIP(1), &packet.Stop{})
+	_ = sw.Send(packet.ControllerIP, packet.APIP(1), &packet.Start{})
+	eng.Run()
+	if len(rec.msgs) != 2 {
+		t.Fatalf("delivered %d messages", len(rec.msgs))
+	}
+	// The undelayed Start arrives first, the spiked Stop 5 ms later.
+	if rec.msgs[0].Type() != packet.MsgStart || rec.at[0] != 200*sim.Microsecond {
+		t.Errorf("undelayed message at %v (%v)", rec.at[0], rec.msgs[0].Type())
+	}
+	if rec.msgs[1].Type() != packet.MsgStop || rec.at[1] != 200*sim.Microsecond+5*sim.Millisecond {
+		t.Errorf("delayed message at %v (%v)", rec.at[1], rec.msgs[1].Type())
+	}
+}
+
+// The health probe/ack pair must survive the Verify wire round trip like
+// every other backhaul message.
+func TestVerifyHealthMessages(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, sim.Microsecond)
+	rec := &recorder{eng: eng}
+	sw.Attach(packet.APIP(1), rec)
+	probe := &packet.HealthProbe{Seq: 7, At: 123}
+	ack := &packet.HealthAck{AP: packet.APIP(1), Seq: 7, At: 123}
+	if err := sw.Send(packet.ControllerIP, packet.APIP(1), probe); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Send(packet.APIP(1), packet.APIP(1), ack); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(rec.msgs) != 2 {
+		t.Fatalf("delivered %d messages", len(rec.msgs))
+	}
+	gotProbe := rec.msgs[0].(*packet.HealthProbe)
+	if gotProbe == probe || *gotProbe != *probe {
+		t.Errorf("probe round trip: got %+v (same pointer: %v)", gotProbe, gotProbe == probe)
+	}
+	gotAck := rec.msgs[1].(*packet.HealthAck)
+	if gotAck == ack || *gotAck != *ack {
+		t.Errorf("ack round trip: got %+v (same pointer: %v)", gotAck, gotAck == ack)
+	}
+}
+
 func TestAttachNilPanics(t *testing.T) {
 	sw := NewSwitch(sim.NewEngine(), sim.Microsecond)
 	defer func() {

@@ -1,0 +1,442 @@
+// Package chaos is the deterministic fault-injection engine for the WGTT
+// reproduction (DESIGN.md §11). The paper evaluates the system on the happy
+// path — APs never die, the backhaul never degrades — but a transit network
+// strings its picocells along outdoor poles on a shared wired segment, so
+// the interesting operational question is what a §3.1.2-style control plane
+// does when parts of it fail. This package answers that reproducibly: a
+// Plan of fault events — AP crashes and restarts, backhaul loss bursts and
+// latency spikes, CSI-report blackouts, controller outages — is derived
+// ahead of time from the scenario seed via named sim.RNG streams, then an
+// Injector replays it against the live network off the simulation clock.
+//
+// Determinism is the design center, mirroring internal/fleet: every draw
+// comes from a stream named after what it decides ("chaos/ap/3",
+// "chaos/burst/drop"), never from shared state, so the same seed yields the
+// same fault timeline regardless of worker count, event interleaving, or
+// which other components consume randomness. Chaos left unconfigured
+// touches nothing: no hooks are installed and no timers scheduled, so a
+// chaos-free run is byte-identical to one built before this package
+// existed.
+package chaos
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"wgtt/internal/backhaul"
+	"wgtt/internal/metrics"
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+// APTarget is the crash surface of one AP (implemented by *ap.AP).
+type APTarget interface {
+	Crash()
+	Restart()
+	Down() bool
+}
+
+// ControllerTarget is the crash surface of the controller (implemented by
+// *controller.Controller). Pass nil when the network has no controller —
+// and take care to pass a true nil, not a typed-nil pointer.
+type ControllerTarget interface {
+	Fail()
+	Recover()
+	Down() bool
+}
+
+// EventKind enumerates the injectable faults.
+type EventKind int
+
+// The fault vocabulary. Crash/restart pairs are explicit events (BuildPlan
+// emits both) so a Plan is a complete, inspectable timeline.
+const (
+	// APCrash power-fails one AP: its radio goes silent mid-frame, it
+	// ignores the backhaul, and its cyclic-queue state is lost (the restart
+	// is a cold start; see ap.Crash/ap.Restart).
+	APCrash EventKind = iota
+	// APRestart brings a crashed AP back with empty rings.
+	APRestart
+	// BackhaulBurst opens a window during which every backhaul message is
+	// dropped with the configured probability — control and data alike.
+	BackhaulBurst
+	// LatencySpike opens a window during which every backhaul delivery
+	// takes extra one-way latency.
+	LatencySpike
+	// CSIBlackout opens a window during which CSI reports are dropped on
+	// the backhaul: the controller flies blind while data still flows.
+	CSIBlackout
+	// ControllerCrash takes the controller down (controller.Fail).
+	ControllerCrash
+	// ControllerRestart recovers it with cold soft state (controller.Recover).
+	ControllerRestart
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case APCrash:
+		return "ap-crash"
+	case APRestart:
+		return "ap-restart"
+	case BackhaulBurst:
+		return "backhaul-burst"
+	case LatencySpike:
+		return "latency-spike"
+	case CSIBlackout:
+		return "csi-blackout"
+	case ControllerCrash:
+		return "controller-crash"
+	case ControllerRestart:
+		return "controller-restart"
+	}
+	return fmt.Sprintf("chaos-kind-%d", int(k))
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	At   sim.Time
+	Kind EventKind
+	// AP is the target AP id for APCrash/APRestart (ignored otherwise).
+	AP int
+	// Dur is the window length for burst/spike/blackout events.
+	Dur sim.Time
+}
+
+// Config parameterizes fault generation. Every MTBF is the mean of an
+// exponential inter-arrival distribution; 0 disables that fault class, and
+// the zero Config generates nothing (Script-only plans are how single
+// targeted faults are injected — see SingleAPCrash).
+type Config struct {
+	// APCrashMTBF is the per-AP mean time between crashes; each crashed AP
+	// comes back after APDowntime with cold queues.
+	APCrashMTBF sim.Time
+	APDowntime  sim.Time
+	// MaxConcurrentAPDown caps simultaneous AP outages (the injector also
+	// never crashes the last alive AP). 0 means the default of 1.
+	MaxConcurrentAPDown int
+
+	// Backhaul loss bursts: windows of BackhaulBurstLen during which every
+	// backhaul message is dropped with probability BackhaulBurstLoss.
+	BackhaulBurstMTBF sim.Time
+	BackhaulBurstLen  sim.Time
+	BackhaulBurstLoss float64
+
+	// Backhaul latency spikes: windows of LatencySpikeLen during which
+	// every delivery takes LatencySpikeExtra additional one-way latency.
+	LatencySpikeMTBF  sim.Time
+	LatencySpikeLen   sim.Time
+	LatencySpikeExtra sim.Time
+
+	// CSI blackouts: windows of CSIBlackoutLen during which CSI reports are
+	// dropped on the backhaul.
+	CSIBlackoutMTBF sim.Time
+	CSIBlackoutLen  sim.Time
+
+	// ControllerCrashAt, when > 0, crashes the controller once at that
+	// time and restarts it ControllerDowntime later.
+	ControllerCrashAt  sim.Time
+	ControllerDowntime sim.Time
+
+	// Script appends hand-placed events to the generated ones — the
+	// reproducible way to stage one exact failure.
+	Script []Event
+}
+
+// DefaultConfig is the standard chaos mix for resilience runs: roughly one
+// AP crash per simulated minute per AP, plus periodic backhaul weather.
+func DefaultConfig() Config {
+	return Config{
+		APCrashMTBF:         60 * sim.Second,
+		APDowntime:          2 * sim.Second,
+		MaxConcurrentAPDown: 1,
+		BackhaulBurstMTBF:   30 * sim.Second,
+		BackhaulBurstLen:    200 * sim.Millisecond,
+		BackhaulBurstLoss:   0.5,
+		LatencySpikeMTBF:    45 * sim.Second,
+		LatencySpikeLen:     500 * sim.Millisecond,
+		LatencySpikeExtra:   5 * sim.Millisecond,
+		CSIBlackoutMTBF:     45 * sim.Second,
+		CSIBlackoutLen:      300 * sim.Millisecond,
+	}
+}
+
+// SingleAPCrash is a script-only config that crashes exactly one AP at the
+// given time, restarting it downtime later (0 downtime: never restarts
+// within any finite run). The acceptance scenario of DESIGN.md §11.
+func SingleAPCrash(apID int, at, downtime sim.Time) Config {
+	script := []Event{{At: at, Kind: APCrash, AP: apID}}
+	if downtime > 0 {
+		script = append(script, Event{At: at + downtime, Kind: APRestart, AP: apID})
+	}
+	return Config{Script: script}
+}
+
+// Plan is a complete fault timeline, sorted by (At, Kind, AP).
+type Plan struct {
+	Events []Event
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool { return len(p.Events) == 0 }
+
+// BuildPlan derives the fault timeline for one cell from its scenario RNG.
+// Each fault class draws from its own named stream, and per-AP crash
+// processes draw from per-AP streams, so the timeline is a pure function of
+// (seed, numAPs, horizon) — unaffected by anything else in the simulation,
+// and identical however many fleet workers replay it.
+func BuildPlan(cfg Config, rng *sim.RNG, numAPs int, horizon sim.Time) Plan {
+	var p Plan
+	if cfg.APCrashMTBF > 0 && cfg.APDowntime > 0 {
+		for id := 0; id < numAPs; id++ {
+			rnd := rng.Stream(fmt.Sprintf("chaos/ap/%d", id))
+			for t := expDraw(rnd, cfg.APCrashMTBF); t < horizon; t += cfg.APDowntime + expDraw(rnd, cfg.APCrashMTBF) {
+				p.Events = append(p.Events,
+					Event{At: t, Kind: APCrash, AP: id},
+					Event{At: t + cfg.APDowntime, Kind: APRestart, AP: id})
+			}
+		}
+	}
+	addWindows := func(stream string, kind EventKind, mtbf, length sim.Time) {
+		if mtbf <= 0 || length <= 0 {
+			return
+		}
+		rnd := rng.Stream(stream)
+		for t := expDraw(rnd, mtbf); t < horizon; t += length + expDraw(rnd, mtbf) {
+			p.Events = append(p.Events, Event{At: t, Kind: kind, Dur: length})
+		}
+	}
+	addWindows("chaos/backhaul/burst", BackhaulBurst, cfg.BackhaulBurstMTBF, cfg.BackhaulBurstLen)
+	addWindows("chaos/backhaul/spike", LatencySpike, cfg.LatencySpikeMTBF, cfg.LatencySpikeLen)
+	addWindows("chaos/csi/blackout", CSIBlackout, cfg.CSIBlackoutMTBF, cfg.CSIBlackoutLen)
+	if cfg.ControllerCrashAt > 0 {
+		p.Events = append(p.Events, Event{At: cfg.ControllerCrashAt, Kind: ControllerCrash})
+		if cfg.ControllerDowntime > 0 {
+			p.Events = append(p.Events,
+				Event{At: cfg.ControllerCrashAt + cfg.ControllerDowntime, Kind: ControllerRestart})
+		}
+	}
+	p.Events = append(p.Events, cfg.Script...)
+	sort.SliceStable(p.Events, func(i, j int) bool {
+		a, b := p.Events[i], p.Events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.AP < b.AP
+	})
+	return p
+}
+
+// expDraw samples an exponential inter-arrival with the given mean.
+func expDraw(rnd *rand.Rand, mean sim.Time) sim.Time {
+	return sim.Time(rnd.ExpFloat64() * float64(mean))
+}
+
+// Stats counts what the injector actually did (the plan is intent; crashes
+// can be skipped by the concurrency guard).
+type Stats struct {
+	APCrashes      uint64
+	APRestarts     uint64
+	CrashesSkipped uint64 // suppressed by MaxConcurrentAPDown / last-AP guard
+	Bursts         uint64
+	BurstDrops     uint64
+	Spikes         uint64
+	Blackouts      uint64
+	BlackoutDrops  uint64
+	CtlCrashes     uint64
+	CtlRestarts    uint64
+}
+
+// chaosMetrics are the injector's observability handles (all nil-safe).
+type chaosMetrics struct {
+	apCrashes     *metrics.Counter
+	apRestarts    *metrics.Counter
+	burstDrops    *metrics.Counter
+	blackoutDrops *metrics.Counter
+	ctlCrashes    *metrics.Counter
+}
+
+// Injector replays a Plan against a live network. Build it with NewInjector
+// and wire it with Arm before the run starts.
+type Injector struct {
+	eng  *sim.Engine
+	cfg  Config
+	plan Plan
+
+	aps []APTarget
+	ctl ControllerTarget
+
+	// Open fault windows, as absolute deadlines on the sim clock.
+	burstUntil    sim.Time
+	spikeUntil    sim.Time
+	blackoutUntil sim.Time
+	// burstRnd decides per-message burst drops; its draws happen only for
+	// messages sent inside a burst window, so the stream's consumption is
+	// itself deterministic.
+	burstRnd *rand.Rand
+
+	downCount int
+
+	// OnFault observes every applied event (after its effect), letting the
+	// evaluation layer correlate faults with delivery gaps.
+	OnFault func(Event)
+
+	Stats Stats
+	met   chaosMetrics
+}
+
+// NewInjector builds the plan for the given horizon and binds it to the
+// network's components. ctl may be nil (baseline networks have none, and
+// controller events are then skipped).
+func NewInjector(cfg Config, eng *sim.Engine, rng *sim.RNG, aps []APTarget, ctl ControllerTarget, horizon sim.Time) *Injector {
+	if cfg.MaxConcurrentAPDown <= 0 {
+		cfg.MaxConcurrentAPDown = 1
+	}
+	return &Injector{
+		eng:      eng,
+		cfg:      cfg,
+		plan:     BuildPlan(cfg, rng, len(aps), horizon),
+		aps:      aps,
+		ctl:      ctl,
+		burstRnd: rng.Stream("chaos/burst/drop"),
+	}
+}
+
+// Plan exposes the timeline the injector will replay.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Arm installs the backhaul hooks and schedules every plan event. The drop
+// hook composes with whatever hook the network already installed (e.g. the
+// ControlLossRate injector) via backhaul.Chain; the delay hook likewise
+// wraps any existing one. Arming an empty plan is a no-op, keeping
+// chaos-free runs bit-for-bit untouched.
+func (in *Injector) Arm(bh *backhaul.Switch) {
+	if in.plan.Empty() {
+		return
+	}
+	bh.Drop = backhaul.Chain(bh.Drop, in.drop)
+	prevDelay := bh.Delay
+	bh.Delay = func(to packet.IPv4Addr, msg packet.Message) sim.Time {
+		var d sim.Time
+		if prevDelay != nil {
+			d = prevDelay(to, msg)
+		}
+		if in.eng.Now() < in.spikeUntil {
+			d += in.cfg.LatencySpikeExtra
+		}
+		return d
+	}
+	for _, ev := range in.plan.Events {
+		ev := ev
+		in.eng.At(ev.At, func() { in.apply(ev) })
+	}
+}
+
+// UseMetrics wires the injector's counters into r (nil disables, as
+// everywhere in DESIGN.md §10).
+func (in *Injector) UseMetrics(r *metrics.Registry) {
+	in.met = chaosMetrics{
+		apCrashes:     r.Counter("chaos", "ap_crashes"),
+		apRestarts:    r.Counter("chaos", "ap_restarts"),
+		burstDrops:    r.Counter("chaos", "burst_drops"),
+		blackoutDrops: r.Counter("chaos", "blackout_drops"),
+		ctlCrashes:    r.Counter("chaos", "controller_crashes"),
+	}
+}
+
+// drop is the backhaul loss hook: burst windows drop anything, blackout
+// windows drop CSI reports.
+func (in *Injector) drop(to packet.IPv4Addr, msg packet.Message) bool {
+	now := in.eng.Now()
+	if now < in.burstUntil && in.burstRnd.Float64() < in.cfg.BackhaulBurstLoss {
+		in.Stats.BurstDrops++
+		in.met.burstDrops.Inc()
+		return true
+	}
+	if now < in.blackoutUntil {
+		if _, csi := msg.(*packet.CSIReport); csi {
+			in.Stats.BlackoutDrops++
+			in.met.blackoutDrops.Inc()
+			return true
+		}
+	}
+	return false
+}
+
+// apply executes one plan event against the live network.
+func (in *Injector) apply(ev Event) {
+	switch ev.Kind {
+	case APCrash:
+		if !in.canCrash(ev.AP) {
+			in.Stats.CrashesSkipped++
+			return
+		}
+		in.aps[ev.AP].Crash()
+		in.downCount++
+		in.Stats.APCrashes++
+		in.met.apCrashes.Inc()
+	case APRestart:
+		if !in.aps[ev.AP].Down() {
+			return // its crash was skipped by the guard
+		}
+		in.aps[ev.AP].Restart()
+		in.downCount--
+		in.Stats.APRestarts++
+		in.met.apRestarts.Inc()
+	case BackhaulBurst:
+		in.Stats.Bursts++
+		in.extend(&in.burstUntil, ev.Dur)
+	case LatencySpike:
+		in.Stats.Spikes++
+		in.extend(&in.spikeUntil, ev.Dur)
+	case CSIBlackout:
+		in.Stats.Blackouts++
+		in.extend(&in.blackoutUntil, ev.Dur)
+	case ControllerCrash:
+		if in.ctl == nil || in.ctl.Down() {
+			return
+		}
+		in.ctl.Fail()
+		in.Stats.CtlCrashes++
+		in.met.ctlCrashes.Inc()
+	case ControllerRestart:
+		if in.ctl == nil || !in.ctl.Down() {
+			return
+		}
+		in.ctl.Recover()
+		in.Stats.CtlRestarts++
+	}
+	if in.OnFault != nil {
+		in.OnFault(ev)
+	}
+}
+
+// canCrash enforces the outage guards: never exceed MaxConcurrentAPDown,
+// and never crash the last alive AP (a corridor with zero coverage measures
+// nothing useful).
+func (in *Injector) canCrash(apID int) bool {
+	if in.aps[apID].Down() {
+		return false
+	}
+	if in.downCount >= in.cfg.MaxConcurrentAPDown {
+		return false
+	}
+	alive := 0
+	for _, a := range in.aps {
+		if !a.Down() {
+			alive++
+		}
+	}
+	return alive > 1
+}
+
+// extend opens or lengthens a fault window ending at now+d.
+func (in *Injector) extend(until *sim.Time, d sim.Time) {
+	if end := in.eng.Now() + d; end > *until {
+		*until = end
+	}
+}

@@ -1,0 +1,256 @@
+package chaos
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"wgtt/internal/backhaul"
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+func TestBuildPlanDeterministicAndSorted(t *testing.T) {
+	cfg := DefaultConfig()
+	horizon := 300 * sim.Second
+	a := BuildPlan(cfg, sim.NewRNG(42), 6, horizon)
+	b := BuildPlan(cfg, sim.NewRNG(42), 6, horizon)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	if a.Empty() {
+		t.Fatal("default config over 5 minutes generated no events")
+	}
+	if !sort.SliceIsSorted(a.Events, func(i, j int) bool {
+		x, y := a.Events[i], a.Events[j]
+		if x.At != y.At {
+			return x.At < y.At
+		}
+		if x.Kind != y.Kind {
+			return x.Kind < y.Kind
+		}
+		return x.AP < y.AP
+	}) {
+		t.Error("plan not sorted by (At, Kind, AP)")
+	}
+	for _, ev := range a.Events {
+		if ev.Kind != APRestart && ev.At >= horizon {
+			t.Fatalf("event %+v generated beyond the horizon", ev)
+		}
+	}
+	c := BuildPlan(cfg, sim.NewRNG(43), 6, horizon)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestBuildPlanPerAPStreamsIndependent(t *testing.T) {
+	// AP k's crash process must not move when more APs join the plan: each
+	// AP draws from its own named stream, like fleet cells.
+	cfg := Config{APCrashMTBF: 30 * sim.Second, APDowntime: sim.Second}
+	horizon := 600 * sim.Second
+	small := BuildPlan(cfg, sim.NewRNG(7), 2, horizon)
+	big := BuildPlan(cfg, sim.NewRNG(7), 8, horizon)
+	filt := func(p Plan, id int) []Event {
+		var out []Event
+		for _, ev := range p.Events {
+			if ev.AP == id && (ev.Kind == APCrash || ev.Kind == APRestart) {
+				out = append(out, ev)
+			}
+		}
+		return out
+	}
+	for id := 0; id < 2; id++ {
+		if !reflect.DeepEqual(filt(small, id), filt(big, id)) {
+			t.Fatalf("AP %d's crash timeline changed when the AP count changed", id)
+		}
+	}
+}
+
+func TestSingleAPCrashScript(t *testing.T) {
+	cfg := SingleAPCrash(3, 2*sim.Second, 500*sim.Millisecond)
+	p := BuildPlan(cfg, sim.NewRNG(1), 5, 10*sim.Second)
+	want := []Event{
+		{At: 2 * sim.Second, Kind: APCrash, AP: 3},
+		{At: 2*sim.Second + 500*sim.Millisecond, Kind: APRestart, AP: 3},
+	}
+	if !reflect.DeepEqual(p.Events, want) {
+		t.Fatalf("plan = %+v, want %+v", p.Events, want)
+	}
+	if p2 := BuildPlan(SingleAPCrash(3, 2*sim.Second, 0), sim.NewRNG(1), 5, 10*sim.Second); len(p2.Events) != 1 {
+		t.Fatalf("zero-downtime crash generated %d events, want 1 (no restart)", len(p2.Events))
+	}
+}
+
+// fakeTarget implements APTarget and ControllerTarget.
+type fakeTarget struct {
+	down              bool
+	crashes, restarts int
+}
+
+func (f *fakeTarget) Crash()     { f.down = true; f.crashes++ }
+func (f *fakeTarget) Fail()      { f.down = true; f.crashes++ }
+func (f *fakeTarget) Restart()   { f.down = false; f.restarts++ }
+func (f *fakeTarget) Recover()   { f.down = false; f.restarts++ }
+func (f *fakeTarget) Down() bool { return f.down }
+
+// sink records backhaul deliveries.
+type sink struct {
+	eng  *sim.Engine
+	msgs []packet.Message
+	at   []sim.Time
+}
+
+func (s *sink) HandleBackhaul(from packet.IPv4Addr, msg packet.Message) {
+	s.msgs = append(s.msgs, msg)
+	s.at = append(s.at, s.eng.Now())
+}
+
+func TestInjectorCrashGuards(t *testing.T) {
+	eng := sim.NewEngine()
+	aps := []*fakeTarget{{}, {}, {}}
+	targets := []APTarget{aps[0], aps[1], aps[2]}
+	cfg := Config{
+		MaxConcurrentAPDown: 1,
+		Script: []Event{
+			{At: 1 * sim.Second, Kind: APCrash, AP: 0},
+			{At: 2 * sim.Second, Kind: APCrash, AP: 1}, // blocked: AP0 still down
+			{At: 3 * sim.Second, Kind: APRestart, AP: 1},
+			{At: 4 * sim.Second, Kind: APRestart, AP: 0},
+			{At: 5 * sim.Second, Kind: APCrash, AP: 1}, // allowed again
+		},
+	}
+	inj := NewInjector(cfg, eng, sim.NewRNG(9), targets, nil, 10*sim.Second)
+	bh := backhaul.NewSwitch(eng, 200*sim.Microsecond)
+	var faults []Event
+	inj.OnFault = func(ev Event) { faults = append(faults, ev) }
+	inj.Arm(bh)
+	eng.RunUntil(10 * sim.Second)
+
+	if aps[0].crashes != 1 || aps[1].crashes != 1 {
+		t.Fatalf("crashes = %d, %d, want 1, 1 (concurrency guard)", aps[0].crashes, aps[1].crashes)
+	}
+	if aps[1].restarts != 0 {
+		t.Fatal("restart applied for a crash the guard skipped")
+	}
+	if inj.Stats.CrashesSkipped != 1 {
+		t.Fatalf("CrashesSkipped = %d, want 1", inj.Stats.CrashesSkipped)
+	}
+	if inj.Stats.APCrashes != 2 || inj.Stats.APRestarts != 1 {
+		t.Fatalf("Stats = %+v", inj.Stats)
+	}
+	// OnFault fires only for applied events: crash, restart, crash.
+	if len(faults) != 3 {
+		t.Fatalf("OnFault saw %d events, want 3", len(faults))
+	}
+}
+
+func TestInjectorNeverCrashesLastAliveAP(t *testing.T) {
+	eng := sim.NewEngine()
+	only := &fakeTarget{}
+	cfg := Config{Script: []Event{{At: sim.Second, Kind: APCrash, AP: 0}}}
+	inj := NewInjector(cfg, eng, sim.NewRNG(9), []APTarget{only}, nil, 5*sim.Second)
+	inj.Arm(backhaul.NewSwitch(eng, 200*sim.Microsecond))
+	eng.RunUntil(5 * sim.Second)
+	if only.crashes != 0 || inj.Stats.CrashesSkipped != 1 {
+		t.Fatalf("last alive AP crashed (crashes=%d skipped=%d)", only.crashes, inj.Stats.CrashesSkipped)
+	}
+}
+
+func TestInjectorBurstDropsAndBlackout(t *testing.T) {
+	eng := sim.NewEngine()
+	bh := backhaul.NewSwitch(eng, 200*sim.Microsecond)
+	rx := &sink{eng: eng}
+	bh.Attach(packet.ControllerIP, rx)
+	cfg := Config{
+		BackhaulBurstLoss: 1.0, // every message in the window
+		Script: []Event{
+			{At: 1 * sim.Second, Kind: BackhaulBurst, Dur: 100 * sim.Millisecond},
+			{At: 2 * sim.Second, Kind: CSIBlackout, Dur: 100 * sim.Millisecond},
+		},
+	}
+	inj := NewInjector(cfg, eng, sim.NewRNG(3), nil, nil, 5*sim.Second)
+	inj.Arm(bh)
+
+	send := func(at sim.Time, msg packet.Message) {
+		eng.At(at, func() { _ = bh.Send(packet.APIP(0), packet.ControllerIP, msg) })
+	}
+	send(1*sim.Second+10*sim.Millisecond, &packet.HealthProbe{Seq: 1}) // burst: dropped
+	send(1*sim.Second+500*sim.Millisecond, &packet.HealthProbe{Seq: 2})
+	send(2*sim.Second+10*sim.Millisecond, &packet.CSIReport{})         // blackout: dropped
+	send(2*sim.Second+20*sim.Millisecond, &packet.HealthProbe{Seq: 3}) // blackout spares non-CSI
+	send(2*sim.Second+500*sim.Millisecond, &packet.CSIReport{})
+	eng.RunUntil(5 * sim.Second)
+
+	if len(rx.msgs) != 3 {
+		t.Fatalf("delivered %d messages, want 3 (burst and blackout drop the others)", len(rx.msgs))
+	}
+	if inj.Stats.BurstDrops != 1 || inj.Stats.BlackoutDrops != 1 {
+		t.Fatalf("Stats = %+v, want 1 burst drop and 1 blackout drop", inj.Stats)
+	}
+	if inj.Stats.Bursts != 1 || inj.Stats.Blackouts != 1 {
+		t.Fatalf("Stats = %+v, want 1 burst and 1 blackout window", inj.Stats)
+	}
+}
+
+func TestInjectorLatencySpikeDelays(t *testing.T) {
+	eng := sim.NewEngine()
+	bh := backhaul.NewSwitch(eng, 200*sim.Microsecond)
+	rx := &sink{eng: eng}
+	bh.Attach(packet.ControllerIP, rx)
+	cfg := Config{
+		LatencySpikeExtra: 5 * sim.Millisecond,
+		Script:            []Event{{At: sim.Second, Kind: LatencySpike, Dur: 100 * sim.Millisecond}},
+	}
+	inj := NewInjector(cfg, eng, sim.NewRNG(3), nil, nil, 5*sim.Second)
+	inj.Arm(bh)
+
+	eng.At(1*sim.Second+sim.Millisecond, func() {
+		_ = bh.Send(packet.APIP(0), packet.ControllerIP, &packet.HealthProbe{Seq: 1})
+	})
+	eng.At(3*sim.Second, func() {
+		_ = bh.Send(packet.APIP(0), packet.ControllerIP, &packet.HealthProbe{Seq: 2})
+	})
+	eng.RunUntil(5 * sim.Second)
+
+	if len(rx.at) != 2 {
+		t.Fatalf("delivered %d, want 2", len(rx.at))
+	}
+	if got, want := rx.at[0], 1*sim.Second+sim.Millisecond+200*sim.Microsecond+5*sim.Millisecond; got != want {
+		t.Errorf("spiked delivery at %v, want %v", got, want)
+	}
+	if got, want := rx.at[1], 3*sim.Second+200*sim.Microsecond; got != want {
+		t.Errorf("normal delivery at %v, want %v", got, want)
+	}
+	if inj.Stats.Spikes != 1 {
+		t.Errorf("Spikes = %d, want 1", inj.Stats.Spikes)
+	}
+}
+
+func TestInjectorControllerCrashRecover(t *testing.T) {
+	eng := sim.NewEngine()
+	ctl := &fakeTarget{}
+	cfg := Config{ControllerCrashAt: sim.Second, ControllerDowntime: 500 * sim.Millisecond}
+	inj := NewInjector(cfg, eng, sim.NewRNG(5), nil, ctl, 5*sim.Second)
+	inj.Arm(backhaul.NewSwitch(eng, 200*sim.Microsecond))
+	eng.RunUntil(5 * sim.Second)
+	if ctl.crashes != 1 || ctl.restarts != 1 {
+		t.Fatalf("controller crashes=%d restarts=%d, want 1, 1", ctl.crashes, ctl.restarts)
+	}
+	if inj.Stats.CtlCrashes != 1 || inj.Stats.CtlRestarts != 1 {
+		t.Fatalf("Stats = %+v", inj.Stats)
+	}
+}
+
+func TestArmEmptyPlanInstallsNothing(t *testing.T) {
+	eng := sim.NewEngine()
+	bh := backhaul.NewSwitch(eng, 200*sim.Microsecond)
+	inj := NewInjector(Config{}, eng, sim.NewRNG(1), nil, nil, 5*sim.Second)
+	inj.Arm(bh)
+	if bh.Drop != nil || bh.Delay != nil {
+		t.Fatal("empty plan installed backhaul hooks")
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("empty plan scheduled %d timers", eng.Pending())
+	}
+}

@@ -38,6 +38,39 @@ type Config struct {
 	MinSwitchESNRdB float64
 	// DedupCapacity bounds the uplink de-duplication hashset.
 	DedupCapacity int
+
+	// HealthInterval paces the AP health monitor: every interval the
+	// controller scans for APs it has not heard from (no CSI, uplink, acks
+	// — the traffic an alive AP emits anyway) and probes the quiet ones.
+	// 0 disables the monitor entirely, which is the paper's original
+	// APs-never-fail operating point (DESIGN.md §11).
+	HealthInterval sim.Time
+	// DetectTimeout is how long an AP may stay silent — ignoring probes
+	// included — before it is marked dead, excluded from selection and
+	// fan-out, and its clients are force-switched away. 0 disables.
+	DetectTimeout sim.Time
+}
+
+// Health-monitor defaults applied by WithHealth. The detection timeout
+// trades outage length against false positives: it must comfortably exceed
+// the probe round trip (two backhaul hops, sub-millisecond) and ride out
+// CSI gaps, while every extra millisecond is client outage when an AP
+// really dies. 100 ms ≈ 4 probe intervals of slack (DESIGN.md §11).
+const (
+	DefaultHealthInterval = 25 * sim.Millisecond
+	DefaultDetectTimeout  = 100 * sim.Millisecond
+)
+
+// WithHealth returns the config with the AP health monitor enabled,
+// filling only the health fields that are unset so explicit choices win.
+func (c Config) WithHealth() Config {
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = DefaultHealthInterval
+	}
+	if c.DetectTimeout <= 0 {
+		c.DetectTimeout = DefaultDetectTimeout
+	}
+	return c
 }
 
 // DefaultConfig returns the paper's operating point.
@@ -68,6 +101,9 @@ type SwitchRecord struct {
 	From, To int
 	Duration sim.Time // stop sent → ack received (Table 1's execution time)
 	Attempts int      // stop transmissions needed
+	// Forced marks a failover switch: the from-AP was dead, so the
+	// stop→start handshake was bypassed with a direct start (DESIGN.md §11).
+	Forced bool
 }
 
 // Stats aggregates controller counters.
@@ -80,6 +116,14 @@ type Stats struct {
 	UplinkDuplicate uint64
 	DownlinkSent    uint64
 	DownlinkCopies  uint64
+
+	// AP health monitor & failure recovery (DESIGN.md §11).
+	HealthProbes           uint64 // probes sent to quiet APs
+	APsMarkedDead          uint64 // detection events
+	APsReadmitted          uint64 // dead APs heard again
+	ForcedSwitches         uint64 // failover switches (direct start)
+	ForcedStartRetransmits uint64 // direct starts re-sent on timeout
+	CtlDownlinkDropped     uint64 // downlink lost while the controller was down
 }
 
 // ctlMetrics holds the controller's observability handles (DESIGN.md §10).
@@ -104,6 +148,15 @@ type ctlMetrics struct {
 	dedupMisses *metrics.Counter
 	dedupSize   *metrics.Gauge
 	spans       *metrics.SpanTracker
+
+	// Health monitor & failure recovery (DESIGN.md §11). recoverySpans
+	// traces detect → reselect → first ack per AP-death incident.
+	healthProbes   *metrics.Counter
+	apsMarkedDead  *metrics.Counter
+	apsReadmitted  *metrics.Counter
+	forcedSwitches *metrics.Counter
+	forcedStartRtx *metrics.Counter
+	recoverySpans  *metrics.SpanTracker
 }
 
 // UseMetrics wires the controller's instruments into r (call before the
@@ -121,6 +174,12 @@ func (c *Controller) UseMetrics(r *metrics.Registry) {
 		dedupMisses:     r.Counter("dedup", "misses"),
 		dedupSize:       r.Gauge("dedup", "size"),
 		spans:           r.SwitchSpans(),
+		healthProbes:    r.Counter("controller", "health_probes"),
+		apsMarkedDead:   r.Counter("controller", "aps_marked_dead"),
+		apsReadmitted:   r.Counter("controller", "aps_readmitted"),
+		forcedSwitches:  r.Counter("controller", "forced_switches"),
+		forcedStartRtx:  r.Counter("controller", "forced_start_retransmits"),
+		recoverySpans:   r.RecoverySpans(),
 	}
 }
 
@@ -131,6 +190,12 @@ type switchOp struct {
 	sentAt   sim.Time
 	attempts int
 	timer    sim.Timer
+	// forced marks a failover op driven by direct starts instead of the
+	// stop→start handshake (the from-AP is dead and would never answer).
+	forced bool
+	// recoveryID links the op to the recovery span of the AP-death
+	// incident that forced it (0 when not a failover).
+	recoveryID uint32
 }
 
 // clientCtl is per-client controller state.
@@ -167,6 +232,21 @@ type Controller struct {
 	aps []APInfo
 
 	clients map[packet.MACAddr]*clientCtl
+	// clientOrder lists clients in registration order. Every whole-fleet
+	// sweep (marking an AP dead, failing over, restarting) iterates this
+	// slice, never the map: map order is randomized per process and would
+	// break run-to-run determinism.
+	clientOrder []packet.MACAddr
+
+	// health is per-AP liveness state, indexed like aps; nil while the
+	// monitor is disabled (the chaos-free default — zero behavior change).
+	health []apHealth
+	ipToAP map[packet.IPv4Addr]int
+	// down is true while a chaos-injected controller crash holds it off
+	// the backhaul (DESIGN.md §11).
+	down        bool
+	probeSeq    uint32
+	recoverySeq uint32
 
 	// DeliverUplink receives each de-duplicated uplink packet (the "strip
 	// tunnel header and forward to the Internet" hop).
@@ -200,6 +280,17 @@ func New(cfg Config, eng *sim.Engine, bh *backhaul.Switch, aps []APInfo) *Contro
 		bh:      bh,
 		aps:     aps,
 		clients: make(map[packet.MACAddr]*clientCtl),
+		ipToAP:  make(map[packet.IPv4Addr]int, len(aps)),
+	}
+	for _, a := range aps {
+		c.ipToAP[a.IP] = a.ID
+	}
+	if cfg.HealthInterval > 0 && cfg.DetectTimeout > 0 {
+		c.health = make([]apHealth, len(aps))
+		for i := range c.health {
+			c.health[i].alive = true
+		}
+		eng.After(cfg.HealthInterval, c.healthTick)
 	}
 	bh.Attach(packet.ControllerIP, c)
 	return c
@@ -225,6 +316,7 @@ func (c *Controller) RegisterClient(mac packet.MACAddr, ip packet.IPv4Addr, serv
 		cl.windows[i] = newWindow(c.cfg.Window)
 	}
 	c.clients[mac] = cl
+	c.clientOrder = append(c.clientOrder, mac)
 }
 
 // ServingAP returns the AP currently serving the client (-1 if unknown).
@@ -248,6 +340,12 @@ func (c *Controller) MedianESNR(mac packet.MACAddr, apID int) (float64, bool) {
 
 // HandleBackhaul implements backhaul.Node.
 func (c *Controller) HandleBackhaul(from packet.IPv4Addr, msg packet.Message) {
+	if c.down {
+		return // a crashed controller hears nothing (DESIGN.md §11)
+	}
+	// Any backhaul traffic from an AP proves it alive — CSI, uplink, acks;
+	// explicit probe acks only matter for APs with nothing else to say.
+	c.noteAPAlive(from)
 	switch m := msg.(type) {
 	case *packet.CSIReport:
 		c.handleCSI(m)
@@ -259,14 +357,14 @@ func (c *Controller) HandleBackhaul(from packet.IPv4Addr, msg packet.Message) {
 		if _, ok := c.clients[m.Client]; !ok {
 			c.RegisterClient(m.Client, m.ClientIP, c.apIndexByIP(from))
 		}
+	case *packet.HealthAck:
+		// noteAPAlive above did the work; nothing else to record.
 	}
 }
 
 func (c *Controller) apIndexByIP(ip packet.IPv4Addr) int {
-	for _, a := range c.aps {
-		if a.IP == ip {
-			return a.ID
-		}
+	if id, ok := c.ipToAP[ip]; ok {
+		return id
 	}
 	return 0
 }
@@ -315,6 +413,9 @@ func (c *Controller) evaluate(cl *clientCtl) {
 	}
 	best, bestMed := -1, 0.0
 	for id, w := range cl.windows {
+		if !c.apAlive(id) {
+			continue // dead APs are not selection candidates
+		}
 		med, ok := w.median(now)
 		if !ok || (id != cl.serving && w.size() < minSamples) {
 			continue
@@ -336,6 +437,10 @@ func (c *Controller) evaluate(cl *clientCtl) {
 		return // nobody usable; switching would just churn
 	}
 	servMed, servOK := cl.windows[cl.serving].median(now)
+	if !c.apAlive(cl.serving) {
+		// A dead incumbent defends nothing, however fresh its window looks.
+		servOK = false
+	}
 	if servOK && bestMed < servMed+c.cfg.MedianMarginDB {
 		return
 	}
@@ -349,6 +454,12 @@ func (c *Controller) evaluate(cl *clientCtl) {
 // fromMed/toMed are the window medians that justified the switch, recorded
 // on its span.
 func (c *Controller) initiateSwitch(cl *clientCtl, to int, fromMed, toMed float64) {
+	if !c.apAlive(cl.serving) {
+		// A stop to a dead AP would only feed the retransmission loop;
+		// recover via the direct-start failover path instead.
+		c.forceSwitch(cl, 0)
+		return
+	}
 	c.switchSeq++
 	op := &switchOp{id: c.switchSeq, from: cl.serving, to: to, sentAt: c.eng.Now()}
 	cl.op = op
@@ -393,10 +504,15 @@ func (c *Controller) handleSwitchAck(m *packet.SwitchAck) {
 		To:       op.to,
 		Duration: c.eng.Now() - op.sentAt,
 		Attempts: op.attempts,
+		Forced:   op.forced,
 	}
 	c.Stats.SwitchesDone++
 	c.met.switchesDone.Inc()
 	c.met.spans.End(op.id, int64(rec.At))
+	if op.recoveryID != 0 {
+		// First rescued client's ack closes the incident's recovery span.
+		c.met.recoverySpans.End(op.recoveryID, int64(rec.At))
+	}
 	c.History = append(c.History, rec)
 	if c.OnSwitch != nil {
 		c.OnSwitch(rec)
@@ -407,6 +523,12 @@ func (c *Controller) handleSwitchAck(m *packet.SwitchAck) {
 // 12-bit index, and fans it out to every AP that heard the client recently
 // (or all APs if none has yet).
 func (c *Controller) SendDownlink(p *packet.Packet) error {
+	if c.down {
+		// A crashed controller forwards nothing; the wired side's packets
+		// are simply lost until Recover (DESIGN.md §11).
+		c.Stats.CtlDownlinkDropped++
+		return nil
+	}
 	cl := c.clients[p.ClientMAC]
 	if cl == nil {
 		return fmt.Errorf("controller: unknown client %v", p.ClientMAC)
@@ -429,6 +551,10 @@ func (c *Controller) SendDownlink(p *packet.Packet) error {
 		if !anyHeard {
 			// Bootstrap: no AP has heard the client yet — fan out broadly.
 			include = true
+		}
+		if !c.apAlive(a.ID) {
+			// Replicating to a dead AP buys nothing: its ring dies with it.
+			include = false
 		}
 		if !include {
 			continue

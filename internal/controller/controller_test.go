@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"wgtt/internal/backhaul"
+	"wgtt/internal/metrics"
 	"wgtt/internal/packet"
 	"wgtt/internal/sim"
 )
@@ -58,11 +59,19 @@ type fakeAP struct {
 	stops   []*packet.Stop
 	starts  []*packet.Start
 	downs   []*packet.DownData
+	probes  []*packet.HealthProbe
 	ackStop bool // respond to stop by emitting start at the next AP
+	dead    bool // crashed: ignore every backhaul message
 }
 
 func (f *fakeAP) HandleBackhaul(from packet.IPv4Addr, msg packet.Message) {
+	if f.dead {
+		return
+	}
 	switch m := msg.(type) {
+	case *packet.HealthProbe:
+		f.probes = append(f.probes, m)
+		_ = f.bh.Send(f.ip, packet.ControllerIP, &packet.HealthAck{AP: f.ip, Seq: m.Seq, At: m.At})
 	case *packet.Stop:
 		f.stops = append(f.stops, m)
 		if f.ackStop {
@@ -380,5 +389,248 @@ func TestWindowMedianMatchesReference(t *testing.T) {
 		if want := sorted[n/2]; got != want {
 			t.Fatalf("median = %v, want %v (n=%d)", got, want, n)
 		}
+	}
+}
+
+// --- AP health monitor & forced failover (DESIGN.md §11) ---
+
+// run advances the engine in 2 ms steps for steps iterations, feeding CSI
+// for the client from every AP in feed each step (dead APs are silent).
+func (h *ctlHarness) runFeeding(client packet.MACAddr, steps int, feed map[int]float64) {
+	for i := 0; i < steps; i++ {
+		for id := 0; id < len(h.aps); id++ {
+			if db, ok := feed[id]; ok && !h.aps[id].dead {
+				h.feedCSI(client, id, db)
+			}
+		}
+		h.eng.RunUntil(h.eng.Now() + 2*sim.Millisecond)
+	}
+}
+
+func TestHealthMonitorDetectsDeadAPAndForcesFailover(t *testing.T) {
+	cfg := DefaultConfig().WithHealth()
+	cfg.MinSwitchESNRdB = 50 // block selection switches: only failover may move the client
+	h := newCtlHarness(t, 2, cfg)
+	reg := metrics.NewRegistry()
+	h.ctl.UseMetrics(reg)
+	client := packet.ClientMAC(1)
+	h.ctl.RegisterClient(client, packet.ClientIP(1), 0)
+
+	h.runFeeding(client, 25, map[int]float64{0: 20, 1: 12})
+	if got := h.ctl.ServingAP(client); got != 0 {
+		t.Fatalf("serving = %d before the crash, want 0", got)
+	}
+
+	h.aps[0].dead = true
+	crashAt := h.eng.Now()
+	h.runFeeding(client, 100, map[int]float64{1: 12})
+
+	st := h.ctl.Stats
+	if st.APsMarkedDead != 1 {
+		t.Fatalf("APsMarkedDead = %d, want 1", st.APsMarkedDead)
+	}
+	if st.ForcedSwitches != 1 || st.SwitchesStarted != 1 {
+		t.Fatalf("ForcedSwitches = %d, SwitchesStarted = %d, want 1, 1", st.ForcedSwitches, st.SwitchesStarted)
+	}
+	if st.HealthProbes == 0 {
+		t.Error("no health probes sent to the silent AP")
+	}
+	if got := h.ctl.ServingAP(client); got != 1 {
+		t.Fatalf("serving = %d after failover, want 1", got)
+	}
+	if len(h.aps[0].stops) != 0 {
+		t.Errorf("dead AP received %d stops; failover must use a direct start", len(h.aps[0].stops))
+	}
+	if len(h.aps[1].starts) == 0 {
+		t.Fatal("failover target received no start")
+	}
+	if len(h.ctl.History) != 1 {
+		t.Fatalf("History has %d records, want 1", len(h.ctl.History))
+	}
+	rec := h.ctl.History[0]
+	if !rec.Forced || rec.From != 0 || rec.To != 1 {
+		t.Errorf("record = %+v, want a forced 0→1 switch", rec)
+	}
+	// Outage bound: detection fires within DetectTimeout plus one health
+	// tick of scan granularity; the direct start adds two backhaul hops.
+	bound := cfg.DetectTimeout + cfg.HealthInterval + 5*sim.Millisecond
+	if gap := rec.At - crashAt; gap > bound {
+		t.Errorf("failover completed %v after the crash, want ≤ %v", gap, bound)
+	}
+
+	// The incident's recovery span is in the snapshot, completed, and
+	// separate from the switch-protocol stream.
+	snap := reg.Snapshot()
+	var recov, forced int
+	for _, sp := range snap.Spans {
+		switch sp.Tracker {
+		case metrics.RecoverySpanTracker:
+			recov++
+			if sp.Cause != metrics.CauseAPFailure || !sp.Completed {
+				t.Errorf("recovery span = %+v, want completed %s", sp, metrics.CauseAPFailure)
+			}
+			if sp.StartHandledNS == 0 || sp.EndNS < sp.StartHandledNS {
+				t.Errorf("recovery span timeline detect=%d reselect=%d ack=%d out of order",
+					sp.StartNS, sp.StartHandledNS, sp.EndNS)
+			}
+		case "":
+			if sp.Cause == metrics.CauseFailover {
+				forced++
+			}
+		}
+	}
+	if recov != 1 || forced != 1 {
+		t.Errorf("snapshot has %d recovery spans and %d failover switch spans, want 1 and 1", recov, forced)
+	}
+}
+
+// Regression (DESIGN.md §11): when an AP dies while a switch handshake is
+// already in flight toward the AP failover would also pick, the controller
+// must escalate that same op to a direct start — same SwitchID — and must
+// not initiate a second switch toward that AP.
+func TestFailoverMidSwitchEscalatesSameOp(t *testing.T) {
+	cfg := DefaultConfig().WithHealth()
+	h := newCtlHarness(t, 2, cfg)
+	client := packet.ClientMAC(1)
+	h.ctl.RegisterClient(client, packet.ClientIP(1), 0)
+
+	h.runFeeding(client, 30, map[int]float64{0: 20, 1: 8})
+	if got := h.ctl.ServingAP(client); got != 0 {
+		t.Fatalf("serving = %d, want 0", got)
+	}
+
+	// AP0 crashes; AP1 immediately looks better, so the §3.1.1 rule opens
+	// a normal stop→start handshake toward AP1 before detection fires. The
+	// stop goes to the dead AP0 and is never answered.
+	h.aps[0].dead = true
+	h.runFeeding(client, 120, map[int]float64{1: 25})
+
+	st := h.ctl.Stats
+	if st.SwitchesStarted != 1 {
+		t.Fatalf("SwitchesStarted = %d, want exactly 1 (escalation must reuse the in-flight op)", st.SwitchesStarted)
+	}
+	if st.ForcedSwitches != 1 {
+		t.Fatalf("ForcedSwitches = %d, want 1", st.ForcedSwitches)
+	}
+	if st.SwitchesDone != 1 {
+		t.Fatalf("SwitchesDone = %d, want 1", st.SwitchesDone)
+	}
+	if st.StopRetransmits == 0 {
+		t.Error("expected stop retransmissions toward the dead AP before escalation")
+	}
+	if got := h.ctl.ServingAP(client); got != 1 {
+		t.Fatalf("serving = %d, want 1", got)
+	}
+	if len(h.aps[1].starts) == 0 {
+		t.Fatal("escalated op sent no direct start")
+	}
+	wantID := h.aps[1].starts[0].SwitchID
+	for _, s := range h.aps[1].starts {
+		if s.SwitchID != wantID {
+			t.Fatalf("start carries SwitchID %d, want %d (a second switch op was opened)", s.SwitchID, wantID)
+		}
+	}
+	if len(h.ctl.History) != 1 || !h.ctl.History[0].Forced {
+		t.Fatalf("History = %+v, want one forced record", h.ctl.History)
+	}
+}
+
+func TestDeadAPExcludedFromFanoutAndReadmitted(t *testing.T) {
+	cfg := DefaultConfig().WithHealth()
+	cfg.MinSwitchESNRdB = 50
+	h := newCtlHarness(t, 3, cfg)
+	client := packet.ClientMAC(1)
+	h.ctl.RegisterClient(client, packet.ClientIP(1), 0)
+
+	h.runFeeding(client, 25, map[int]float64{0: 20, 1: 15, 2: 14})
+	h.aps[2].dead = true
+	h.runFeeding(client, 100, map[int]float64{0: 20, 1: 15})
+	if !h.ctl.APAlive(0) || !h.ctl.APAlive(1) || h.ctl.APAlive(2) {
+		t.Fatalf("alive = %v %v %v, want true true false",
+			h.ctl.APAlive(0), h.ctl.APAlive(1), h.ctl.APAlive(2))
+	}
+
+	for i := range h.aps {
+		h.aps[i].downs = nil
+	}
+	if err := h.ctl.SendDownlink(&packet.Packet{ClientMAC: client, Bytes: 1500}); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.RunUntil(h.eng.Now() + sim.Millisecond)
+	if len(h.aps[0].downs) != 1 || len(h.aps[1].downs) != 1 {
+		t.Fatalf("alive APs got %d, %d downlink copies, want 1, 1", len(h.aps[0].downs), len(h.aps[1].downs))
+	}
+	if len(h.aps[2].downs) != 0 {
+		t.Fatalf("dead AP got %d downlink copies, want 0", len(h.aps[2].downs))
+	}
+
+	// The AP comes back: its next backhaul message re-admits it, and
+	// fan-out (fed by fresh CSI) includes it again.
+	h.aps[2].dead = false
+	h.runFeeding(client, 30, map[int]float64{0: 20, 1: 15, 2: 14})
+	if h.ctl.Stats.APsReadmitted != 1 {
+		t.Fatalf("APsReadmitted = %d, want 1", h.ctl.Stats.APsReadmitted)
+	}
+	if !h.ctl.APAlive(2) {
+		t.Fatal("AP2 still dead after speaking")
+	}
+	for i := range h.aps {
+		h.aps[i].downs = nil
+	}
+	if err := h.ctl.SendDownlink(&packet.Packet{ClientMAC: client, Bytes: 1500}); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.RunUntil(h.eng.Now() + sim.Millisecond)
+	if len(h.aps[2].downs) != 1 {
+		t.Fatalf("re-admitted AP got %d downlink copies, want 1", len(h.aps[2].downs))
+	}
+}
+
+func TestControllerFailRecover(t *testing.T) {
+	cfg := DefaultConfig().WithHealth()
+	h := newCtlHarness(t, 2, cfg)
+	client := packet.ClientMAC(1)
+	h.ctl.RegisterClient(client, packet.ClientIP(1), 0)
+	h.runFeeding(client, 25, map[int]float64{0: 20, 1: 12})
+
+	h.ctl.Fail()
+	if !h.ctl.Down() {
+		t.Fatal("controller not down after Fail")
+	}
+	if err := h.ctl.SendDownlink(&packet.Packet{ClientMAC: client, Bytes: 1500}); err != nil {
+		t.Fatal(err)
+	}
+	if h.ctl.Stats.CtlDownlinkDropped != 1 {
+		t.Fatalf("CtlDownlinkDropped = %d, want 1", h.ctl.Stats.CtlDownlinkDropped)
+	}
+	// A crashed controller must neither probe nor declare deaths while the
+	// APs' silence is its own fault.
+	dead := h.ctl.Stats.APsMarkedDead
+	h.eng.RunUntil(h.eng.Now() + 300*sim.Millisecond)
+	if h.ctl.Stats.APsMarkedDead != dead {
+		t.Fatalf("controller declared %d AP deaths while itself down", h.ctl.Stats.APsMarkedDead-dead)
+	}
+
+	h.ctl.Recover()
+	if h.ctl.Down() {
+		t.Fatal("controller still down after Recover")
+	}
+	if !h.ctl.APAlive(0) || !h.ctl.APAlive(1) {
+		t.Fatal("recovery grace did not re-admit the APs")
+	}
+	// State is cold but functional: registrations survived, traffic flows.
+	h.runFeeding(client, 25, map[int]float64{0: 20, 1: 12})
+	for i := range h.aps {
+		h.aps[i].downs = nil
+	}
+	if err := h.ctl.SendDownlink(&packet.Packet{ClientMAC: client, Bytes: 1500}); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.RunUntil(h.eng.Now() + sim.Millisecond)
+	if len(h.aps[0].downs) != 1 {
+		t.Fatalf("serving AP got %d downlink copies after recovery, want 1", len(h.aps[0].downs))
+	}
+	if h.ctl.Stats.APsMarkedDead != dead {
+		t.Fatalf("recovery grace failed: %d deaths declared right after restart", h.ctl.Stats.APsMarkedDead-dead)
 	}
 }

@@ -1,0 +1,300 @@
+package controller
+
+import (
+	"fmt"
+
+	"wgtt/internal/metrics"
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+// This file is the controller's failure-recovery half (DESIGN.md §11): the
+// AP health monitor, the forced-failover path that rescues clients off a
+// dead AP without the dead AP's cooperation, and the controller's own
+// crash/recover hooks for chaos injection.
+//
+// The monitor is passive first: every backhaul message an AP sends — CSI
+// reports, tunneled uplink, switch acks — refreshes its last-heard time, so
+// under normal traffic liveness costs nothing. An AP quiet for a full
+// HealthInterval gets an explicit HealthProbe; that distinguishes "alive
+// but hears no clients" (answers the probe over the wired backhaul) from
+// "dead" (answers nothing). Silence through DetectTimeout marks the AP
+// dead: it is excluded from selection and fan-out, and every client it was
+// serving — or mid-handshake with — is force-switched to the best alive AP
+// with a direct start(c, k). The stop half of §3.1.2 is skipped because a
+// dead AP can neither answer a stop nor tell anyone its cursor k; the
+// controller substitutes its own next index, accepting that packets only
+// the dead AP had left unsent are lost (the transport retransmits). Any
+// later message from a dead AP re-admits it instantly.
+
+// apHealth is one AP's liveness state.
+type apHealth struct {
+	lastHeard sim.Time
+	alive     bool
+	deadSince sim.Time
+	// recoveryID is the recovery span opened by the latest death (0 none).
+	recoveryID uint32
+}
+
+// apAlive reports whether the AP is considered alive. With the monitor
+// disabled every AP is alive — the chaos-free fast path.
+func (c *Controller) apAlive(id int) bool {
+	if c.health == nil || id < 0 || id >= len(c.health) {
+		return true
+	}
+	return c.health[id].alive
+}
+
+// APAlive reports the health monitor's verdict on one AP (always true when
+// the monitor is disabled). Evaluation hook.
+func (c *Controller) APAlive(id int) bool { return c.apAlive(id) }
+
+// noteAPAlive refreshes the sender's last-heard time and re-admits it if
+// it had been marked dead.
+func (c *Controller) noteAPAlive(from packet.IPv4Addr) {
+	if c.health == nil {
+		return
+	}
+	id, ok := c.ipToAP[from]
+	if !ok {
+		return
+	}
+	h := &c.health[id]
+	h.lastHeard = c.eng.Now()
+	if !h.alive {
+		h.alive = true
+		c.Stats.APsReadmitted++
+		c.met.apsReadmitted.Inc()
+	}
+}
+
+// healthTick is the periodic monitor scan: probe APs quiet for a full
+// interval, declare dead those quiet through the detection timeout.
+func (c *Controller) healthTick() {
+	if !c.down {
+		now := c.eng.Now()
+		for id := range c.health {
+			h := &c.health[id]
+			silent := now - h.lastHeard
+			if h.alive && silent >= c.cfg.DetectTimeout {
+				c.markAPDead(id)
+			}
+			if silent >= c.cfg.HealthInterval {
+				// Quiet for a full tick (dead APs included — the probe
+				// doubles as the re-admission ping): ask explicitly.
+				c.probeSeq++
+				c.Stats.HealthProbes++
+				c.met.healthProbes.Inc()
+				probe := &packet.HealthProbe{Seq: c.probeSeq, At: int64(now)}
+				_ = c.bh.Send(packet.ControllerIP, c.aps[id].IP, probe)
+			}
+		}
+	}
+	c.eng.After(c.cfg.HealthInterval, c.healthTick)
+}
+
+// markAPDead declares one AP dead and rescues its clients.
+func (c *Controller) markAPDead(id int) {
+	h := &c.health[id]
+	h.alive = false
+	h.deadSince = c.eng.Now()
+	c.Stats.APsMarkedDead++
+	c.met.apsMarkedDead.Inc()
+
+	// Collect the stranded clients first (in registration order — the map
+	// would be nondeterministic): those served by the dead AP, and those
+	// whose in-flight switch touches it.
+	var stranded []*clientCtl
+	for _, mac := range c.clientOrder {
+		cl := c.clients[mac]
+		if cl.serving == id || (cl.op != nil && (cl.op.from == id || cl.op.to == id)) {
+			stranded = append(stranded, cl)
+		}
+	}
+	h.recoveryID = 0
+	if len(stranded) > 0 {
+		c.recoverySeq++
+		h.recoveryID = c.recoverySeq
+		if c.met.recoverySpans != nil {
+			c.met.recoverySpans.Begin(h.recoveryID, int64(h.deadSince),
+				fmt.Sprintf("ap%d", id+1), id, -1, metrics.CauseAPFailure, 0, 0)
+		}
+	}
+	for _, cl := range stranded {
+		c.forceSwitch(cl, h.recoveryID)
+	}
+}
+
+// pickFailover selects the best alive AP for a stranded client: highest
+// in-window median ESNR (any sample count — a stranded client cannot be
+// choosy, so MinSamples and MinSwitchESNRdB do not gate here), falling
+// back to the alive AP that heard the client most recently, then to the
+// lowest-numbered alive AP. Returns -1 only when every AP is dead.
+func (c *Controller) pickFailover(cl *clientCtl) int {
+	now := c.eng.Now()
+	best, bestMed := -1, 0.0
+	for id, w := range cl.windows {
+		if !c.apAlive(id) {
+			continue
+		}
+		med, ok := w.median(now)
+		if !ok {
+			continue
+		}
+		if best == -1 || med > bestMed {
+			best, bestMed = id, med
+		}
+	}
+	if best != -1 {
+		return best
+	}
+	for id := range cl.windows {
+		if !c.apAlive(id) || !cl.heardEver[id] {
+			continue
+		}
+		if best == -1 || cl.lastHeard[id] > cl.lastHeard[best] {
+			best = id
+		}
+	}
+	if best != -1 {
+		return best
+	}
+	for id := range c.aps {
+		if c.apAlive(id) {
+			return id
+		}
+	}
+	return -1
+}
+
+// forceSwitch moves a stranded client to the best alive AP via a direct
+// start. recoveryID (0 = none) ties the op to its incident's recovery span.
+func (c *Controller) forceSwitch(cl *clientCtl, recoveryID uint32) {
+	to := c.pickFailover(cl)
+	if to < 0 {
+		// Every AP is dead. Drop any op aimed at a dead target; the next
+		// health tick (or a re-admission) retries while the outage lasts.
+		if cl.op != nil && !c.apAlive(cl.op.to) {
+			cl.op.timer.Stop()
+			cl.op = nil
+		}
+		return
+	}
+	if op := cl.op; op != nil {
+		if op.to == to {
+			// Overlapping-switch guard: a handshake toward this AP is
+			// already pending. Escalate the SAME op to a direct start —
+			// same SwitchID, no second switch toward the same AP.
+			if !op.forced {
+				op.forced = true
+				op.recoveryID = recoveryID
+				op.timer.Stop()
+				c.Stats.ForcedSwitches++
+				c.met.forcedSwitches.Inc()
+				c.met.recoverySpans.MarkStartHandled(recoveryID, int64(c.eng.Now()))
+				c.sendForcedStart(cl, op)
+			}
+			return
+		}
+		// The in-flight op's target is unusable (it died): abandon it and
+		// open a fresh forced op toward the new pick.
+		op.timer.Stop()
+		cl.op = nil
+	}
+	c.switchSeq++
+	now := c.eng.Now()
+	op := &switchOp{
+		id: c.switchSeq, from: cl.serving, to: to,
+		sentAt: now, forced: true, recoveryID: recoveryID,
+	}
+	cl.op = op
+	c.Stats.SwitchesStarted++
+	c.Stats.ForcedSwitches++
+	c.met.switchesStarted.Inc()
+	c.met.forcedSwitches.Inc()
+	if c.met.spans != nil {
+		toMed, _ := cl.windows[to].median(now)
+		c.met.spans.Begin(op.id, int64(now), cl.mac.String(),
+			op.from, op.to, metrics.CauseFailover, 0, toMed)
+	}
+	c.met.recoverySpans.MarkStartHandled(recoveryID, int64(now))
+	c.sendForcedStart(cl, op)
+}
+
+// sendForcedStart sends start(c, k) straight to the failover target, with
+// k = the controller's own next index: the dead AP's cursor is unknowable
+// (that is the no-ack case), so recovery resumes at the head of the stream
+// and cedes the dead AP's unsent backlog to transport retransmission.
+func (c *Controller) sendForcedStart(cl *clientCtl, op *switchOp) {
+	op.attempts++
+	start := &packet.Start{Client: cl.mac, Index: cl.nextIndex, SwitchID: op.id}
+	_ = c.bh.Send(packet.ControllerIP, c.aps[op.to].IP, start)
+	op.timer = c.eng.After(c.cfg.SwitchTimeout, func() {
+		if cl.op != op {
+			return
+		}
+		c.Stats.ForcedStartRetransmits++
+		c.met.forcedStartRtx.Inc()
+		c.met.spans.AddRetransmit(op.id)
+		if !c.apAlive(op.to) {
+			// The failover target died too: retarget from scratch.
+			cl.op = nil
+			c.forceSwitch(cl, op.recoveryID)
+			return
+		}
+		c.sendForcedStart(cl, op)
+	})
+}
+
+// Fail models a controller crash (chaos injection): the controller stops
+// hearing the backhaul and forwarding downlink, and its soft state — the
+// in-flight switch handshakes — dies with it. Client registrations are
+// durable (§4.3 replicates association state to every AP, the store a
+// restarted controller re-reads), so Recover keeps them.
+func (c *Controller) Fail() {
+	if c.down {
+		return
+	}
+	c.down = true
+	for _, mac := range c.clientOrder {
+		cl := c.clients[mac]
+		if cl.op != nil {
+			cl.op.timer.Stop()
+			cl.op = nil
+		}
+	}
+}
+
+// Recover restarts the controller with cold soft state: fresh ESNR
+// windows, fanout knowledge, dedup sets, and index counters. Every AP's
+// silence clock restarts at the recovery instant so the monitor does not
+// mass-declare deaths for the outage the controller itself caused.
+func (c *Controller) Recover() {
+	if !c.down {
+		return
+	}
+	c.down = false
+	now := c.eng.Now()
+	for _, mac := range c.clientOrder {
+		cl := c.clients[mac]
+		for i := range cl.windows {
+			cl.windows[i] = newWindow(c.cfg.Window)
+			cl.lastHeard[i] = 0
+			cl.heardEver[i] = false
+		}
+		c.dedupEntries -= len(cl.dedup)
+		cl.dedup = make(map[packet.DedupKey]struct{}, c.cfg.DedupCapacity)
+		cl.dedupFIFO = nil
+		cl.lastBest = -1
+		cl.lastSwitch = 0
+		cl.nextIndex = 0
+	}
+	c.met.dedupSize.Set(float64(c.dedupEntries))
+	for i := range c.health {
+		c.health[i].alive = true
+		c.health[i].lastHeard = now
+	}
+}
+
+// Down reports whether the controller is currently crashed.
+func (c *Controller) Down() bool { return c.down }

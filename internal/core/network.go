@@ -6,6 +6,7 @@ import (
 	"wgtt/internal/ap"
 	"wgtt/internal/backhaul"
 	"wgtt/internal/baseline"
+	"wgtt/internal/chaos"
 	"wgtt/internal/client"
 	"wgtt/internal/controller"
 	"wgtt/internal/csi"
@@ -66,6 +67,10 @@ type Network struct {
 	// Metrics is the observability registry attached by EnableMetrics
 	// (nil — recording disabled — by default; DESIGN.md §10).
 	Metrics *metrics.Registry
+
+	// Chaos is the fault injector, armed by Build when Scenario.Chaos is
+	// set (nil otherwise; DESIGN.md §11).
+	Chaos *chaos.Injector
 }
 
 // Build assembles a scenario into a Network.
@@ -79,6 +84,11 @@ func Build(s Scenario) (*Network, error) {
 	}
 	if nCh > 1 && s.Mode != ModeWGTT {
 		return nil, fmt.Errorf("core: multi-channel deployments are only modeled for WGTT")
+	}
+	if s.Chaos != nil && s.Mode != ModeWGTT {
+		// The baseline has no controller to detect and recover from AP
+		// deaths; chaos against it would measure nothing but the fault.
+		return nil, fmt.Errorf("core: chaos injection is only modeled for WGTT")
 	}
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(s.Seed)
@@ -208,6 +218,12 @@ func Build(s Scenario) (*Network, error) {
 		if s.Controller != nil {
 			ctlCfg = *s.Controller
 		}
+		if s.Chaos != nil {
+			// Faults without detection would just be permanent outages: the
+			// chaos engine implies the §11 health monitor (explicit health
+			// settings in s.Controller win over the defaults).
+			ctlCfg = ctlCfg.WithHealth()
+		}
 		n.Ctl = controller.New(ctlCfg, eng, bh, infos)
 		n.Ctl.DeliverUplink = n.dispatchUplink
 	} else {
@@ -291,6 +307,18 @@ func Build(s Scenario) (*Network, error) {
 		}
 	}
 
+	// Fault injection (DESIGN.md §11): derive the plan from the scenario
+	// seed and arm it. The drop hook chains after any ControlLossRate hook
+	// installed above.
+	if s.Chaos != nil {
+		targets := make([]chaos.APTarget, len(n.APs))
+		for i, a := range n.APs {
+			targets[i] = a
+		}
+		n.Chaos = chaos.NewInjector(*s.Chaos, eng, rng, targets, n.Ctl, s.Duration)
+		n.Chaos.Arm(bh)
+	}
+
 	return n, nil
 }
 
@@ -320,7 +348,17 @@ func (n *Network) EnableMetricsInto(r *metrics.Registry) *metrics.Registry {
 	for i, cl := range n.Clients {
 		cl.UseMetrics(r, fmt.Sprintf("client%d", i+1))
 	}
+	if n.Chaos != nil {
+		n.Chaos.UseMetrics(r)
+	}
 	return r
+}
+
+// OnClientDownlink registers a tap on a client's delivered downlink
+// packets (chained after any flow receivers). The resilience evaluation
+// uses it to measure delivery gaps around injected faults.
+func (n *Network) OnClientDownlink(clientID int, fn func(p *packet.Packet, at sim.Time)) {
+	n.onClientDownlink(clientID, fn)
 }
 
 // retuneClient moves a client's radio to its new serving AP's channel.

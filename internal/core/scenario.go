@@ -7,6 +7,7 @@ package core
 import (
 	"math"
 
+	"wgtt/internal/chaos"
 	"wgtt/internal/controller"
 	"wgtt/internal/mobility"
 	"wgtt/internal/radio"
@@ -92,6 +93,13 @@ type Scenario struct {
 	// AP's channel on each switch, and APs can only overhear clients on
 	// their own channel — which is exactly the trade-off §7 predicts.
 	Channels int
+	// Chaos enables deterministic fault injection (DESIGN.md §11): a fault
+	// plan is derived from the scenario seed, the AP health monitor is
+	// switched on (WithHealth, unless the Controller override already set
+	// it), and the injector replays the plan during the run. nil — the
+	// default — leaves the network untouched and byte-identical to a build
+	// without the chaos engine. WGTT mode only.
+	Chaos *chaos.Config
 }
 
 // DriveScenario is a convenience builder: one client driving the full

@@ -282,6 +282,37 @@ func TestExtScaleRender(t *testing.T) {
 	}
 }
 
+func TestExtResilienceDegradesGracefully(t *testing.T) {
+	r, err := ExtResilience(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MTBFS) != 2 || r.MTBFS[0] != 0 {
+		t.Fatalf("quick sweep must be {off, stressed}: %+v", r.MTBFS)
+	}
+	if r.APCrashes[0] != 0 || r.WorstOutageMS[0] != 0 {
+		t.Errorf("fault-free control saw chaos: crashes=%d outage=%.1fms",
+			r.APCrashes[0], r.WorstOutageMS[0])
+	}
+	if r.APCrashes[1] == 0 || r.APsMarkedDead[1] == 0 {
+		t.Fatalf("stressed row exercised nothing: %+v", r)
+	}
+	// Graceful degradation: crashes with overlapping coverage must not
+	// collapse delivered throughput.
+	if r.UDPMbps[1] < r.UDPMbps[0]*0.75 {
+		t.Errorf("throughput collapsed under chaos: %.2f vs %.2f Mb/s",
+			r.UDPMbps[1], r.UDPMbps[0])
+	}
+	// Any crash-straddling outage stays within the same order as the
+	// detection timeout (generous 5x headroom: a crash can land mid-switch).
+	if r.WorstOutageMS[1] > 500 {
+		t.Errorf("worst outage %.1f ms is unbounded", r.WorstOutageMS[1])
+	}
+	if !strings.Contains(r.Render(), "resilience") {
+		t.Error("render malformed")
+	}
+}
+
 func TestRunAllParallelMatchesRegistryOrder(t *testing.T) {
 	// Two cheap artifacts, two workers: outputs must come back in registry
 	// order (fig2 precedes table3) with identical text to a serial run.

@@ -70,6 +70,8 @@ func Experiments() []Experiment {
 			func(o Options) (Result, error) { return ExtOmni(o) }},
 		{"ext-scale", "Extension (§7): 16-AP corridor scale-out",
 			func(o Options) (Result, error) { return ExtScale(o) }},
+		{"ext-resilience", "Extension (§11): AP-crash fault injection and recovery",
+			func(o Options) (Result, error) { return ExtResilience(o) }},
 	}
 }
 

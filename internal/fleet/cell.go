@@ -50,6 +50,16 @@ type CellResult struct {
 	// enabled. It is kept out of Report rendering so the determinism
 	// contract's byte-identical output is unaffected.
 	Metrics *metrics.Snapshot
+
+	// Fault-injection outcomes, populated only when cfg.Chaos is set
+	// (DESIGN.md §11). Chaos is what the injector did; the rest is how the
+	// controller's failure recovery responded.
+	APCrashes      uint64
+	BurstDrops     uint64
+	BlackoutDrops  uint64
+	APsMarkedDead  uint64
+	APsReadmitted  uint64
+	ForcedSwitches uint64
 }
 
 // RunCell plans, builds, and runs one corridor cell to completion. It is
@@ -66,6 +76,7 @@ func RunCell(cfg Config, cell int) (CellResult, error) {
 		Seed:        plan.Seed,
 		Duration:    plan.Duration,
 		APPositions: positions,
+		Chaos:       cfg.Chaos,
 	}
 	for _, v := range plan.Vehicles {
 		// Arrivals are approaching traffic: each vehicle starts far enough
@@ -183,6 +194,15 @@ func RunCell(cfg Config, cell int) (CellResult, error) {
 	res.UplinkUnique = st.UplinkUnique
 	res.UplinkDuplicate = st.UplinkDuplicate
 	res.AirtimePct = 100 * n.Medium.Utilization()
+	if n.Chaos != nil {
+		cs := n.Chaos.Stats
+		res.APCrashes = cs.APCrashes
+		res.BurstDrops = cs.BurstDrops
+		res.BlackoutDrops = cs.BlackoutDrops
+		res.APsMarkedDead = st.APsMarkedDead
+		res.APsReadmitted = st.APsReadmitted
+		res.ForcedSwitches = st.ForcedSwitches
+	}
 
 	if rec != nil {
 		if err := rec.Flush(); err != nil {

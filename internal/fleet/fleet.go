@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"wgtt/internal/chaos"
 	"wgtt/internal/mobility"
 	"wgtt/internal/sim"
 )
@@ -71,6 +72,13 @@ type Config struct {
 	// CellResult.Metrics. Purely additive — the deployment report text is
 	// unchanged, preserving the byte-identical determinism contract.
 	Metrics bool
+
+	// Chaos injects deterministic faults into every cell (DESIGN.md §11).
+	// Each cell derives its own fault plan from its (fleet seed, cell
+	// index)-derived scenario seed, so chaos keeps the determinism
+	// contract: reports are byte-identical for any worker count. nil
+	// disables injection and leaves the report format untouched.
+	Chaos *chaos.Config
 }
 
 // minHeadwayS is the minimum inter-arrival gap in seconds — the

@@ -3,9 +3,11 @@ package fleet
 import (
 	"os"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
 
+	"wgtt/internal/chaos"
 	"wgtt/internal/sim"
 	"wgtt/internal/trace"
 )
@@ -105,6 +107,67 @@ func TestFleetDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if switches == 0 {
 		t.Error("no switches anywhere in the fleet")
+	}
+}
+
+// TestFleetChaosDeterministicAcrossWorkers is the DESIGN.md §11 fleet
+// acceptance check: with fault injection enabled, reports must stay
+// byte-identical across worker counts, and the resilience section must
+// appear (and only appear) when chaos is configured.
+func TestFleetChaosDeterministicAcrossWorkers(t *testing.T) {
+	chaosCfg := func() *chaos.Config {
+		c := chaos.DefaultConfig()
+		// Compress MTBFs so the short test cells see real faults.
+		c.APCrashMTBF = 10 * sim.Second
+		c.APDowntime = sim.Second
+		c.BackhaulBurstMTBF = 8 * sim.Second
+		c.CSIBlackoutMTBF = 8 * sim.Second
+		c.LatencySpikeMTBF = 8 * sim.Second
+		return &c
+	}
+	withChaos := func(workers int) Config {
+		cfg := testConfig(workers)
+		cfg.Chaos = chaosCfg()
+		return cfg
+	}
+
+	base, err := Run(withChaos(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.Render()
+	if !strings.Contains(want, "Resilience (fault injection") {
+		t.Fatal("chaos-enabled report lacks the resilience section")
+	}
+	var crashes, forced uint64
+	for _, c := range base.Cells {
+		crashes += c.APCrashes
+		forced += c.ForcedSwitches
+	}
+	if crashes == 0 {
+		t.Error("compressed-MTBF fleet applied no AP crashes; the test exercised nothing")
+	}
+	if forced == 0 {
+		t.Error("no forced failover switches anywhere in the chaos fleet")
+	}
+
+	for _, workers := range []int{4, 8} {
+		res, err := Run(withChaos(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Render(); got != want {
+			t.Fatalf("chaos reports differ across worker counts:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s", want, workers, got)
+		}
+	}
+
+	// Chaos-free reports must not grow the section.
+	plain, err := Run(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.Render(), "Resilience") {
+		t.Error("resilience section rendered without chaos configured")
 	}
 }
 

@@ -123,5 +123,34 @@ func (r *Result) Render() string {
 	row("switch accuracy (%)", accuracy)
 	row("udp loss fraction", udpLoss)
 	b.WriteString(d.String())
+
+	// Resilience section, present only under fault injection so chaos-free
+	// reports stay byte-identical to their pre-chaos form.
+	if r.Cfg.Chaos != nil {
+		var crashes, burstDrops, blackoutDrops, dead, readmitted, forced uint64
+		for i := range r.Cells {
+			c := &r.Cells[i]
+			crashes += c.APCrashes
+			burstDrops += c.BurstDrops
+			blackoutDrops += c.BlackoutDrops
+			dead += c.APsMarkedDead
+			readmitted += c.APsReadmitted
+			forced += c.ForcedSwitches
+		}
+		b.WriteString("\nResilience (fault injection, DESIGN.md §11)\n")
+		fmt.Fprintf(&b, "ap crashes %d  marked dead %d  readmitted %d  forced switches %d\n",
+			crashes, dead, readmitted, forced)
+		fmt.Fprintf(&b, "backhaul burst drops %d  csi blackout drops %d\n", burstDrops, blackoutDrops)
+		rt := &stats.Table{Header: []string{
+			"cell", "crashes", "dead", "readmit", "forced", "burst-drop", "csi-drop"}}
+		for i := range r.Cells {
+			c := &r.Cells[i]
+			rt.AddRow(fmt.Sprintf("%d", c.Cell), fmt.Sprintf("%d", c.APCrashes),
+				fmt.Sprintf("%d", c.APsMarkedDead), fmt.Sprintf("%d", c.APsReadmitted),
+				fmt.Sprintf("%d", c.ForcedSwitches), fmt.Sprintf("%d", c.BurstDrops),
+				fmt.Sprintf("%d", c.BlackoutDrops))
+		}
+		b.WriteString(rt.String())
+	}
 	return b.String()
 }

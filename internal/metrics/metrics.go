@@ -216,6 +216,17 @@ func (r *Registry) SwitchSpans() *SpanTracker {
 	return r.Spans(SwitchSpanTracker)
 }
 
+// RecoverySpanTracker is the canonical name of the AP-failure recovery
+// span tracker (detect → reselect → ack, DESIGN.md §11). Its spans share
+// the SwitchSpan shape but are excluded from the Table 1 switch digest.
+const RecoverySpanTracker = "recovery"
+
+// RecoverySpans returns the failure-recovery span tracker (nil on a nil
+// registry).
+func (r *Registry) RecoverySpans() *SpanTracker {
+	return r.Spans(RecoverySpanTracker)
+}
+
 // AddDuration accumulates simulated run time covered by this registry.
 // Fprint uses the total to report counter rates (e.g. ESNR reports/s).
 func (r *Registry) AddDuration(ns int64) {

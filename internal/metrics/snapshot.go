@@ -110,15 +110,24 @@ func (r *Registry) Snapshot() Snapshot {
 		})
 	}
 	sortSnap(&s)
-	// Span trackers other than the switch tracker do not exist today; all
-	// trackers snapshot into the one spans list, in name order.
+	// All trackers snapshot into the one spans list, in name order. Spans
+	// from non-switch trackers (e.g. recovery) carry their tracker's name so
+	// consumers can separate the streams after a Merge; switch-protocol
+	// spans keep an empty Tracker, preserving the exact JSON of snapshots
+	// taken before other trackers existed.
 	var names []string
 	for name := range r.spans {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		s.Spans = append(s.Spans, r.spans[name].snapshot()...)
+		snaps := r.spans[name].snapshot()
+		if name != SwitchSpanTracker {
+			for i := range snaps {
+				snaps[i].Tracker = name
+			}
+		}
+		s.Spans = append(s.Spans, snaps...)
 	}
 	return s
 }
@@ -228,12 +237,17 @@ type SwitchSummary struct {
 	DrainMedianNS int64
 }
 
-// SwitchSummary computes the summary over s.Spans.
+// SwitchSummary computes the summary over the switch-protocol spans of
+// s.Spans (spans tagged with another tracker's name — recovery spans —
+// are skipped so they cannot skew the Table 1 digest).
 func (s *Snapshot) SwitchSummary() SwitchSummary {
 	var sum SwitchSummary
 	var durs, stops, starts, acks, drains []int64
 	for i := range s.Spans {
 		sp := &s.Spans[i]
+		if sp.Tracker != "" && sp.Tracker != SwitchSpanTracker {
+			continue
+		}
 		sum.Total++
 		sum.Retransmits += sp.Retransmits
 		if sp.DrainMPDUs > 0 {
@@ -349,15 +363,36 @@ func Fprint(w io.Writer, s Snapshot) {
 	}
 	if len(s.Spans) > 0 {
 		sum := s.SwitchSummary()
-		fmt.Fprintf(w, "\nswitch spans (stop → start → ack, §3.1.2)\n")
-		fmt.Fprintf(w, "  %d begun, %d completed, %d stop retransmits\n",
-			sum.Total, sum.Completed, sum.Retransmits)
-		fmt.Fprintf(w, "  execution time: median %.1f ms, p95 %.1f ms\n",
-			ms(sum.MedianNS), ms(sum.P95NS))
-		fmt.Fprintf(w, "  segment medians: stop %.1f ms, start %.1f ms, ack %.1f ms\n",
-			ms(sum.StopSegNS), ms(sum.StartSegNS), ms(sum.AckSegNS))
-		fmt.Fprintf(w, "  hardware-queue drain: %d switches drained MPDUs, median %.1f ms\n",
-			sum.Drained, ms(sum.DrainMedianNS))
+		if sum.Total > 0 {
+			fmt.Fprintf(w, "\nswitch spans (stop → start → ack, §3.1.2)\n")
+			fmt.Fprintf(w, "  %d begun, %d completed, %d stop retransmits\n",
+				sum.Total, sum.Completed, sum.Retransmits)
+			fmt.Fprintf(w, "  execution time: median %.1f ms, p95 %.1f ms\n",
+				ms(sum.MedianNS), ms(sum.P95NS))
+			fmt.Fprintf(w, "  segment medians: stop %.1f ms, start %.1f ms, ack %.1f ms\n",
+				ms(sum.StopSegNS), ms(sum.StartSegNS), ms(sum.AckSegNS))
+			fmt.Fprintf(w, "  hardware-queue drain: %d switches drained MPDUs, median %.1f ms\n",
+				sum.Drained, ms(sum.DrainMedianNS))
+		}
+		var recDurs []int64
+		recTotal, recDone := 0, 0
+		for i := range s.Spans {
+			sp := &s.Spans[i]
+			if sp.Tracker != RecoverySpanTracker {
+				continue
+			}
+			recTotal++
+			if sp.Completed {
+				recDone++
+				recDurs = append(recDurs, sp.DurationNS())
+			}
+		}
+		if recTotal > 0 {
+			fmt.Fprintf(w, "\nrecovery spans (detect → reselect → ack, DESIGN.md §11)\n")
+			fmt.Fprintf(w, "  %d AP failures detected, %d recovered\n", recTotal, recDone)
+			fmt.Fprintf(w, "  recovery time: median %.1f ms, p95 %.1f ms\n",
+				ms(quantileNS(recDurs, 0.5)), ms(quantileNS(recDurs, 0.95)))
+		}
 	}
 }
 

@@ -2,10 +2,20 @@ package metrics
 
 // CauseMedianArgmax is the initiation cause of a §3.1.1 selection switch:
 // the challenger AP's windowed median ESNR beat the incumbent's by at
-// least the configured margin. It is the only cause the reproduction's
-// controller has today; the field exists so extensions (load shedding,
-// coverage-hole escape) can be told apart in one span stream.
+// least the configured margin. The field exists so extensions can be told
+// apart in one span stream; CauseFailover and CauseAPFailure are the
+// failure-recovery causes (DESIGN.md §11).
 const CauseMedianArgmax = "median-argmax"
+
+// CauseFailover marks a switch forced by the controller because the
+// client's serving AP (or its in-flight switch target) was declared dead —
+// the stop→start handshake is bypassed with a direct start, since a dead
+// AP answers neither stops nor their retransmissions.
+const CauseFailover = "failover"
+
+// CauseAPFailure is the cause attached to a recovery span: one AP-death
+// incident, from detection through the last stranded client's ack.
+const CauseAPFailure = "ap-failure"
 
 // SwitchSpan traces one execution of the §3.1.2 switching protocol, from
 // the controller's first stop(c) transmission to the ack that completes
@@ -51,6 +61,13 @@ type SwitchSpan struct {
 
 	// Completed reports whether the ack arrived before the run ended.
 	Completed bool `json:"completed"`
+
+	// Tracker names the SpanTracker this span came from when it is not the
+	// canonical switch tracker (e.g. "recovery" for DESIGN.md §11 AP-failure
+	// spans). Empty for switch-protocol spans, which keeps the JSON of
+	// chaos-free snapshots identical to earlier releases and lets
+	// SwitchSummary tell protocol spans apart after Merge mixed streams.
+	Tracker string `json:"tracker,omitempty"`
 }
 
 // DurationNS is the stop-sent → ack-received execution time (Table 1's

@@ -118,6 +118,8 @@ func TestWireRoundTrips(t *testing.T) {
 		&SwitchAck{Client: ClientMAC(1), AP: APIP(2), SwitchID: 99},
 		&BlockAckFwd{Client: ClientMAC(2), FromAP: APIP(7), SSN: 1000, Bitmap: 0xdeadbeefcafef00d},
 		&AssocSync{Client: ClientMAC(3), ClientIP: ClientIP(3), AID: 17, Authorized: true},
+		&HealthProbe{Seq: 41, At: 987654321},
+		&HealthAck{AP: APIP(6), Seq: 41, At: 987654321},
 	}
 	for _, m := range msgs {
 		raw := Encode(m)
@@ -205,6 +207,7 @@ func TestMsgTypeString(t *testing.T) {
 		MsgDownData: "down-data", MsgUpData: "up-data", MsgStop: "stop",
 		MsgStart: "start", MsgSwitchAck: "switch-ack", MsgCSI: "csi",
 		MsgBAFwd: "ba-fwd", MsgAssoc: "assoc", MsgType(0): "msg?0",
+		MsgHealthProbe: "health-probe", MsgHealthAck: "health-ack",
 	}
 	for ty, want := range names {
 		if got := ty.String(); got != want {

@@ -44,6 +44,12 @@ const (
 	MsgBAFwd
 	// MsgAssoc replicates client association state AP→AP (§4.3).
 	MsgAssoc
+	// MsgHealthProbe is a controller→AP liveness probe. The paper's control
+	// plane assumes APs never fail; the probe/ack pair backs the AP health
+	// monitor that relaxes that assumption (DESIGN.md §11).
+	MsgHealthProbe
+	// MsgHealthAck is the AP→controller reply to a health probe.
+	MsgHealthAck
 )
 
 // String implements fmt.Stringer.
@@ -65,6 +71,10 @@ func (t MsgType) String() string {
 		return "ba-fwd"
 	case MsgAssoc:
 		return "assoc"
+	case MsgHealthProbe:
+		return "health-probe"
+	case MsgHealthAck:
+		return "health-ack"
 	default:
 		return fmt.Sprintf("msg?%d", uint8(t))
 	}
@@ -109,6 +119,10 @@ func Decode(src []byte) (Message, error) {
 		m = &BlockAckFwd{}
 	case MsgAssoc:
 		m = &AssocSync{}
+	case MsgHealthProbe:
+		m = &HealthProbe{}
+	case MsgHealthAck:
+		m = &HealthAck{}
 	default:
 		return nil, fmt.Errorf("packet: unknown message type %d", src[0])
 	}
@@ -455,5 +469,65 @@ func (a *AssocSync) unmarshal(src []byte) error {
 	copy(a.ClientIP[:], src[6:10])
 	a.AID = binary.BigEndian.Uint16(src[10:12])
 	a.Authorized = src[12] != 0
+	return nil
+}
+
+// HealthProbe asks one AP to prove it is alive. The controller normally
+// infers liveness from the CSI/uplink stream an AP emits anyway; a probe is
+// sent only when that stream has gone quiet, so an in-range crash and an
+// AP that merely hears no clients are distinguishable (DESIGN.md §11).
+type HealthProbe struct {
+	Seq uint32
+	At  int64 // controller send time, sim.Time in ns, echoed in the ack
+}
+
+// Type implements Message.
+func (*HealthProbe) Type() MsgType { return MsgHealthProbe }
+
+// WireSize implements Message.
+func (*HealthProbe) WireSize() int { return 4 + 8 }
+
+func (h *HealthProbe) marshal(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, h.Seq)
+	return binary.BigEndian.AppendUint64(dst, uint64(h.At))
+}
+
+func (h *HealthProbe) unmarshal(src []byte) error {
+	if len(src) < h.WireSize() {
+		return fmt.Errorf("truncated")
+	}
+	h.Seq = binary.BigEndian.Uint32(src[0:4])
+	h.At = int64(binary.BigEndian.Uint64(src[4:12]))
+	return nil
+}
+
+// HealthAck answers a HealthProbe. It echoes the probe's sequence number
+// and send timestamp, so the controller can both refresh the AP's
+// last-heard time and measure the control-plane round trip.
+type HealthAck struct {
+	AP  IPv4Addr // answering AP's backhaul address
+	Seq uint32
+	At  int64 // the probe's At, echoed
+}
+
+// Type implements Message.
+func (*HealthAck) Type() MsgType { return MsgHealthAck }
+
+// WireSize implements Message.
+func (*HealthAck) WireSize() int { return 4 + 4 + 8 }
+
+func (h *HealthAck) marshal(dst []byte) []byte {
+	dst = append(dst, h.AP[:]...)
+	dst = binary.BigEndian.AppendUint32(dst, h.Seq)
+	return binary.BigEndian.AppendUint64(dst, uint64(h.At))
+}
+
+func (h *HealthAck) unmarshal(src []byte) error {
+	if len(src) < h.WireSize() {
+		return fmt.Errorf("truncated")
+	}
+	copy(h.AP[:], src[0:4])
+	h.Seq = binary.BigEndian.Uint32(src[4:8])
+	h.At = int64(binary.BigEndian.Uint64(src[8:16]))
 	return nil
 }
