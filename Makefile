@@ -5,11 +5,12 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/fleet ./internal/eval ./internal/trace ./internal/stats
+RACE_PKGS = ./internal/fleet ./internal/eval ./internal/trace ./internal/stats \
+	./internal/runtime ./internal/backhaul/udp ./internal/live
 
-.PHONY: check vet build test race bench bench-smoke fleet-determinism docs-check lint chaos-smoke
+.PHONY: check vet build test race bench bench-smoke fleet-determinism docs-check lint chaos-smoke live-smoke fuzz-smoke
 
-check: vet lint build test race bench-smoke chaos-smoke docs-check
+check: vet lint build test race bench-smoke chaos-smoke live-smoke fuzz-smoke docs-check
 
 # Static analysis beyond vet. The tools are optional — not every build
 # environment ships them — so each is gated on availability rather than
@@ -72,6 +73,22 @@ chaos-smoke:
 	/tmp/wgttsim -chaos -speed 25 -seed 11 > /tmp/chaos-run2.txt
 	cmp /tmp/chaos-run1.txt /tmp/chaos-run2.txt
 	@echo chaos-smoke: fault-injected runs byte-identical
+
+# Live-mode smoke (part of check): one controller and two AP processes over
+# UDP loopback, each on its own wall-clock run loop, must complete a full
+# §3.1.2 stop→start→ack switch with every backhaul message passing through
+# its wire encoding (DESIGN.md §12).
+live-smoke:
+	$(GO) build -o /tmp/wgtt-live ./cmd/wgtt-live
+	/tmp/wgtt-live -aps 2 -timeout 10s
+	@echo live-smoke: multi-process switch over UDP loopback complete
+
+# Wire-codec fuzz smoke (part of check): a short coverage-guided run of
+# FuzzDecode on top of its seed corpus — malformed backhaul bytes must never
+# panic the decoder, and accepted inputs must round-trip stably.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/packet
+	@echo fuzz-smoke: decoder survived coverage-guided malformed input
 
 # Slow (tens of minutes): the full perf trajectory — every figure/table
 # benchmark from the root bench_test.go plus the hot-path micros — written

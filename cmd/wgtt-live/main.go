@@ -1,0 +1,176 @@
+// Command wgtt-live runs the WGTT protocol cores as separate OS processes
+// over a real UDP backhaul (DESIGN.md §12): one controller and N APs on
+// loopback, each with its own wall-clock run loop and socket, driving the
+// scripted crossing-ramp CSI scenario through a complete §3.1.2
+// stop→start→ack switch.
+//
+// Usage:
+//
+//	wgtt-live                   # orchestrate: spawn controller + 2 APs, wait for the switch
+//	wgtt-live -aps 3 -timeout 5s
+//
+// The orchestrator re-execs itself for the node roles (-role controller,
+// -role ap); those are plumbing, not user entry points.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"wgtt/internal/live"
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+func main() {
+	var (
+		role    = flag.String("role", "run", "run | controller | ap (node roles are spawned internally)")
+		apID    = flag.Int("id", 0, "AP id (role=ap)")
+		listen  = flag.String("listen", "", "UDP address to bind (node roles)")
+		table   = flag.String("table", "", "comma-separated endpoints: controller,ap0,ap1,... (node roles)")
+		aps     = flag.Int("aps", 2, "number of AP processes (role=run)")
+		timeout = flag.Duration("timeout", 10*time.Second, "give up if no switch completes in this long")
+	)
+	flag.Parse()
+
+	var err error
+	switch *role {
+	case "run":
+		err = orchestrate(*aps, *timeout)
+	case "controller":
+		err = runController(*listen, strings.Split(*table, ","), *timeout)
+	case "ap":
+		err = runAP(*apID, *listen, strings.Split(*table, ","), *timeout)
+	default:
+		err = fmt.Errorf("unknown role %q", *role)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wgtt-live:", err)
+		os.Exit(1)
+	}
+}
+
+// freeAddrs reserves n loopback UDP addresses by binding ephemeral ports,
+// then releasing them for the node processes to re-bind. The window between
+// release and re-bind is a benign race on loopback smoke runs.
+func freeAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	conns := make([]*net.UDPConn, n)
+	for i := 0; i < n; i++ {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			return nil, err
+		}
+		conns[i] = c
+		addrs[i] = c.LocalAddr().String()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return addrs, nil
+}
+
+// orchestrate spawns one controller and numAPs AP processes over loopback
+// and waits for the controller to report a completed switch.
+func orchestrate(numAPs int, timeout time.Duration) error {
+	if numAPs < 2 {
+		return fmt.Errorf("need at least 2 APs for a switch, got %d", numAPs)
+	}
+	if len(live.DefaultScripts()) < numAPs {
+		return fmt.Errorf("the scripted scenario defines %d CSI ramps, cannot drive %d APs",
+			len(live.DefaultScripts()), numAPs)
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	addrs, err := freeAddrs(numAPs + 1)
+	if err != nil {
+		return err
+	}
+	tableArg := strings.Join(addrs, ",")
+
+	spawn := func(args ...string) (*exec.Cmd, error) {
+		cmd := exec.Command(self, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		return cmd, cmd.Start()
+	}
+
+	apProcs := make([]*exec.Cmd, 0, numAPs)
+	defer func() {
+		for _, p := range apProcs {
+			_ = p.Process.Kill()
+			_ = p.Wait()
+		}
+	}()
+	for i := 0; i < numAPs; i++ {
+		p, err := spawn("-role", "ap", "-id", fmt.Sprint(i),
+			"-listen", addrs[i+1], "-table", tableArg, "-timeout", timeout.String())
+		if err != nil {
+			return fmt.Errorf("spawning AP %d: %w", i, err)
+		}
+		apProcs = append(apProcs, p)
+	}
+	ctl, err := spawn("-role", "controller",
+		"-listen", addrs[0], "-table", tableArg, "-timeout", timeout.String())
+	if err != nil {
+		return fmt.Errorf("spawning controller: %w", err)
+	}
+	if err := ctl.Wait(); err != nil {
+		return fmt.Errorf("controller: %w", err)
+	}
+	fmt.Printf("wgtt-live: OK — %d processes over UDP loopback\n", numAPs+1)
+	return nil
+}
+
+// bindAndTable is the node-role common setup: bind the assigned address and
+// build the peer table (everyone but self).
+func bindAndTable(listen string, endpoints []string, self packet.IPv4Addr) (*net.UDPConn, map[packet.IPv4Addr]string, error) {
+	ua, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return nil, nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, nil, err
+	}
+	table := live.Table(endpoints)
+	delete(table, self)
+	return conn, table, nil
+}
+
+func runController(listen string, endpoints []string, timeout time.Duration) error {
+	conn, table, err := bindAndTable(listen, endpoints, packet.ControllerIP)
+	if err != nil {
+		return err
+	}
+	numAPs := len(endpoints) - 1
+	rec, err := live.RunController(conn, table, numAPs, sim.Time(timeout))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wgtt-live: switch complete client=%v ap%d->ap%d duration=%.1fms attempts=%d\n",
+		rec.Client, rec.From+1, rec.To+1, float64(rec.Duration)/float64(sim.Millisecond), rec.Attempts)
+	return nil
+}
+
+func runAP(id int, listen string, endpoints []string, timeout time.Duration) error {
+	conn, table, err := bindAndTable(listen, endpoints, packet.APIP(id))
+	if err != nil {
+		return err
+	}
+	scripts := live.DefaultScripts()
+	if id >= len(scripts) {
+		return fmt.Errorf("no CSI script for AP %d", id)
+	}
+	// APs outlive the switch by running to the full timeout; the
+	// orchestrator kills them once the controller reports success.
+	_, err = live.RunAP(id, conn, table, scripts[id], id == 0, sim.Time(timeout))
+	return err
+}

@@ -20,6 +20,7 @@ import (
 	"wgtt/internal/mac"
 	"wgtt/internal/metrics"
 	"wgtt/internal/packet"
+	"wgtt/internal/runtime"
 	"wgtt/internal/sim"
 )
 
@@ -143,11 +144,13 @@ type clientState struct {
 // cursors are considered stale and resynchronized on the next enqueue.
 const staleRingAfter = sim.Second
 
-// AP is one WGTT access point.
+// AP is one WGTT access point. Like the controller it is clock- and
+// transport-agnostic (DESIGN.md §12); st is nil in live mode, where no
+// simulated radio exists and CSI arrives from an external source.
 type AP struct {
 	cfg Config
-	eng *sim.Engine
-	bh  *backhaul.Switch
+	clk runtime.Clock
+	bh  backhaul.Fabric
 	st  *mac.Station
 	rnd *rand.Rand
 
@@ -217,21 +220,32 @@ func (a *AP) UseMetrics(r *metrics.Registry) {
 
 // New creates an AP, wiring it to the backhaul and its MAC station. The
 // station must have been created with the AP's radio endpoint; the AP
-// installs itself as the station's Sink and Source.
-func New(cfg Config, eng *sim.Engine, bh *backhaul.Switch, st *mac.Station, controller packet.IPv4Addr, rnd *rand.Rand) *AP {
+// installs itself as the station's Sink and Source. In live mode st may be
+// nil — the AP then runs queue and protocol state only, with no radio.
+func New(cfg Config, clk runtime.Clock, bh backhaul.Fabric, st *mac.Station, controller packet.IPv4Addr, rnd *rand.Rand) *AP {
 	a := &AP{
 		cfg:        cfg,
-		eng:        eng,
+		clk:        clk,
 		bh:         bh,
 		st:         st,
 		rnd:        rnd,
 		controller: controller,
 		clients:    make(map[packet.MACAddr]*clientState),
 	}
-	st.SetSink(a)
-	st.SetSource(a)
+	if st != nil {
+		st.SetSink(a)
+		st.SetSource(a)
+	}
 	bh.Attach(cfg.IP, a)
 	return a
+}
+
+// kick nudges the MAC station to contend for the medium; a no-op without a
+// radio (live mode).
+func (a *AP) kick() {
+	if a.st != nil {
+		a.st.Kick()
+	}
 }
 
 // Config returns the AP's configuration.
@@ -303,7 +317,9 @@ func (a *AP) Crash() {
 	a.Stats.Crashes++
 	// Installed lazily on first crash so never-crashed runs keep the
 	// filter-free ACK fast path.
-	a.st.SetRespondFilter(func(packet.MACAddr) bool { return !a.down })
+	if a.st != nil {
+		a.st.SetRespondFilter(func(packet.MACAddr) bool { return !a.down })
+	}
 }
 
 // Restart brings a crashed AP back with cold queues: every client's ring,
@@ -349,9 +365,9 @@ func (a *AP) HandleBackhaul(from packet.IPv4Addr, msg packet.Message) {
 	case *packet.DownData:
 		a.enqueueDownlink(m.Pkt)
 	case *packet.Stop:
-		a.eng.After(max(0, a.cfg.StopProcessing+a.jitter()), func() { a.handleStop(m) })
+		a.clk.After(max(0, a.cfg.StopProcessing+a.jitter()), func() { a.handleStop(m) })
 	case *packet.Start:
-		a.eng.After(max(0, a.cfg.StartProcessing+a.jitter()), func() { a.handleStart(m) })
+		a.clk.After(max(0, a.cfg.StartProcessing+a.jitter()), func() { a.handleStart(m) })
 	case *packet.BlockAckFwd:
 		a.handleForwardedBA(m)
 	case *packet.AssocSync:
@@ -374,7 +390,7 @@ func (a *AP) enqueueDownlink(p *packet.Packet) {
 		a.met.overwrites.Inc()
 	}
 	cs.ring[slot] = p
-	now := a.eng.Now()
+	now := a.clk.Now()
 	if !cs.haveAny {
 		cs.haveAny = true
 		cs.nextSend = p.Index
@@ -422,7 +438,7 @@ func (a *AP) enqueueDownlink(p *packet.Packet) {
 		a.met.queueDepth.Observe(float64(depth))
 	}
 	if cs.serving {
-		a.st.Kick()
+		a.kick()
 	}
 }
 
@@ -457,7 +473,7 @@ func (a *AP) handleStop(m *packet.Stop) {
 	}
 	a.Stats.StopsHandled++
 	a.met.stops.Inc()
-	a.met.spans.MarkStopHandled(m.SwitchID, int64(a.eng.Now()))
+	a.met.spans.MarkStopHandled(m.SwitchID, int64(a.clk.Now()))
 	cs := a.client(m.Client)
 	k := cs.nextSend
 	if !cs.serving {
@@ -483,12 +499,12 @@ func (a *AP) handleStop(m *packet.Stop) {
 		} else {
 			cs.drainPending = true
 			cs.drainSwitchID = m.SwitchID
-			cs.drainStart = a.eng.Now()
+			cs.drainStart = a.clk.Now()
 			cs.drainCount = 0
 		}
 	}
 	a.sendStart(m, k)
-	a.st.Kick()
+	a.kick()
 }
 
 func (a *AP) sendStart(m *packet.Stop, k uint16) {
@@ -507,7 +523,7 @@ func (a *AP) handleStart(m *packet.Start) {
 	}
 	a.Stats.StartsHandled++
 	a.met.starts.Inc()
-	a.met.spans.MarkStartHandled(m.SwitchID, int64(a.eng.Now()))
+	a.met.spans.MarkStartHandled(m.SwitchID, int64(a.clk.Now()))
 	cs := a.client(m.Client)
 	if !cs.haveAny {
 		// Taking over with an empty ring (this AP joined the fan-out set
@@ -529,7 +545,7 @@ func (a *AP) handleStart(m *packet.Start) {
 	cs.serving = true
 	ack := &packet.SwitchAck{Client: m.Client, AP: a.cfg.IP, SwitchID: m.SwitchID}
 	_ = a.bh.Send(a.cfg.IP, a.controller, ack)
-	a.st.Kick()
+	a.kick()
 }
 
 // handleForwardedBA merges a Block ACK forwarded by a neighbour into this
@@ -569,7 +585,7 @@ func (a *AP) completeFromBitmap(cs *clientState, ssn uint16, bitmap uint64) int 
 			done++
 			a.Stats.MPDUsDelivered++
 			if a.OnDeliver != nil && mp.Pkt != nil {
-				a.OnDeliver(mp.Pkt, a.eng.Now())
+				a.OnDeliver(mp.Pkt, a.clk.Now())
 			}
 			continue
 		}

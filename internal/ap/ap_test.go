@@ -9,6 +9,7 @@ import (
 	"wgtt/internal/mobility"
 	"wgtt/internal/packet"
 	"wgtt/internal/radio"
+	wrt "wgtt/internal/runtime"
 	"wgtt/internal/sim"
 )
 
@@ -85,7 +86,7 @@ func newAPHarness(t *testing.T, n int, clientX float64) *apHarness {
 			Endpoint:    ep,
 			Promiscuous: true,
 		})
-		a := New(cfg, eng, bh, st, packet.ControllerIP, rng.Stream(cfg.Name))
+		a := New(cfg, wrt.Virtual(eng), bh, st, packet.ControllerIP, rng.Stream(cfg.Name))
 		h.aps = append(h.aps, a)
 		peerIPs = append(peerIPs, cfg.IP)
 	}

@@ -26,6 +26,24 @@ type NodeFunc func(from packet.IPv4Addr, msg packet.Message)
 // HandleBackhaul implements Node.
 func (f NodeFunc) HandleBackhaul(from packet.IPv4Addr, msg packet.Message) { f(from, msg) }
 
+// Fabric is the transport abstraction the protocol cores send through: the
+// in-memory Switch below (simulation — typed messages, virtual latency) and
+// the real-socket fabric in backhaul/udp (live mode — every message passes
+// its wire encoding) both implement it, which is what lets one controller
+// and AP implementation run on either substrate (DESIGN.md §12).
+type Fabric interface {
+	// Attach registers a node at an address; attaching twice replaces the
+	// previous node.
+	Attach(addr packet.IPv4Addr, n Node)
+	// Send delivers msg from one address to another. Sending to an address
+	// the fabric cannot resolve returns an error — an assembly bug, not a
+	// transient loss (losses are silent, as on a real network).
+	Send(from, to packet.IPv4Addr, msg packet.Message) error
+	// Broadcast sends msg to every other node the fabric knows, in a
+	// deterministic address order.
+	Broadcast(from packet.IPv4Addr, msg packet.Message)
+}
+
 // Switch is the Ethernet fabric. It is store-and-forward with a fixed
 // one-way latency; bandwidth is assumed ample (the paper's gigabit LAN
 // never saturates at roadside AP loads).
@@ -33,6 +51,10 @@ type Switch struct {
 	eng     *sim.Engine
 	latency sim.Time
 	nodes   map[packet.IPv4Addr]Node
+	// order lists attached addresses in first-attach order: Broadcast
+	// iterates it instead of the map, whose per-process iteration order
+	// would otherwise leak into delivery order and break determinism.
+	order []packet.IPv4Addr
 
 	// Verify, when true, runs every message through its wire encoding and
 	// delivers the decoded copy, so the binary formats are exercised on
@@ -69,10 +91,14 @@ func NewSwitch(eng *sim.Engine, latency sim.Time) *Switch {
 func (s *Switch) Latency() sim.Time { return s.latency }
 
 // Attach registers a node at an address. Attaching twice replaces the
-// previous node (useful in tests).
+// previous node (useful in tests) but keeps the address's original
+// position in the broadcast order.
 func (s *Switch) Attach(addr packet.IPv4Addr, n Node) {
 	if n == nil {
 		panic("backhaul: nil node")
+	}
+	if _, seen := s.nodes[addr]; !seen {
+		s.order = append(s.order, addr)
 	}
 	s.nodes[addr] = n
 }
@@ -88,10 +114,13 @@ func (s *Switch) Send(from, to packet.IPv4Addr, msg packet.Message) error {
 		s.dropped++
 		return nil
 	}
+	// Byte accounting is unconditional: the envelope is 3 bytes plus the
+	// payload's WireSize, which packet's codec tests pin to the encoder's
+	// actual output, so the count matches what Verify would have measured.
+	s.bytes += uint64(3 + msg.WireSize())
 	deliver := msg
 	if s.Verify {
 		raw := packet.Encode(msg)
-		s.bytes += uint64(len(raw))
 		decoded, err := packet.Decode(raw)
 		if err != nil {
 			return fmt.Errorf("backhaul: wire round-trip of %v failed: %w", msg.Type(), err)
@@ -109,9 +138,11 @@ func (s *Switch) Send(from, to packet.IPv4Addr, msg packet.Message) error {
 	return nil
 }
 
-// Broadcast sends msg to every attached node except the sender.
+// Broadcast sends msg to every attached node except the sender, in attach
+// order — a deterministic sequence, where map iteration would randomize the
+// delivery (and with it every downstream tiebreak) per process.
 func (s *Switch) Broadcast(from packet.IPv4Addr, msg packet.Message) {
-	for addr := range s.nodes {
+	for _, addr := range s.order {
 		if addr == from {
 			continue
 		}
@@ -121,7 +152,7 @@ func (s *Switch) Broadcast(from packet.IPv4Addr, msg packet.Message) {
 }
 
 // Stats reports the number of delivered and dropped messages and the total
-// encoded bytes (when Verify is on).
+// encoded bytes of everything sent (counted whether or not Verify is on).
 func (s *Switch) Stats() (sent, dropped, bytes uint64) { return s.sent, s.dropped, s.bytes }
 
 // RandomDrop returns a Drop hook that discards each message independently

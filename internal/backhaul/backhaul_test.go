@@ -259,3 +259,88 @@ func TestNodeFunc(t *testing.T) {
 		t.Error("NodeFunc not invoked")
 	}
 }
+
+// Broadcast must deliver in attach order, not map order: attach many
+// addresses in a known sequence and require the delivery sequence (same
+// latency, so delivery order == scheduling order) to match it exactly,
+// every time. With map iteration this fails almost surely across 32 nodes.
+func TestBroadcastDeterministicAttachOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, sim.Microsecond)
+	const n = 32
+	shared := &orderRecorder{eng: eng}
+	for i := 0; i < n; i++ {
+		addr := packet.APIP(i)
+		sw.Attach(addr, NodeFunc(func(from packet.IPv4Addr, msg packet.Message) {
+			shared.got = append(shared.got, addr)
+		}))
+	}
+	sw.Broadcast(packet.ControllerIP, &packet.AssocSync{Client: packet.ClientMAC(1)})
+	eng.Run()
+	if len(shared.got) != n {
+		t.Fatalf("delivered to %d nodes, want %d", len(shared.got), n)
+	}
+	for i, addr := range shared.got {
+		if addr != packet.APIP(i) {
+			t.Fatalf("delivery %d went to %v, want %v (attach order violated)", i, addr, packet.APIP(i))
+		}
+	}
+	// Re-attaching must keep the original position.
+	sw.Attach(packet.APIP(0), NodeFunc(func(from packet.IPv4Addr, msg packet.Message) {
+		shared.got = append(shared.got, packet.APIP(0))
+	}))
+	shared.got = nil
+	sw.Broadcast(packet.APIP(n-1), &packet.AssocSync{Client: packet.ClientMAC(1)})
+	eng.Run()
+	if len(shared.got) != n-1 || shared.got[0] != packet.APIP(0) {
+		t.Fatalf("after re-attach: got %d deliveries, first %v", len(shared.got), shared.got[0])
+	}
+}
+
+type orderRecorder struct {
+	eng *sim.Engine
+	got []packet.IPv4Addr
+}
+
+// Byte accounting must not depend on Verify: the same traffic yields the
+// same byte count either way, and it equals the messages' envelope sizes.
+func TestByteAccountingUnconditional(t *testing.T) {
+	msgs := []packet.Message{
+		&packet.Stop{Client: packet.ClientMAC(1), NextAP: packet.APIP(1), SwitchID: 1},
+		&packet.Start{Client: packet.ClientMAC(1), Index: 9, SwitchID: 1},
+		&packet.CSIReport{Client: packet.ClientMAC(1), AP: packet.APIP(0)},
+	}
+	want := uint64(0)
+	for _, m := range msgs {
+		want += uint64(3 + m.WireSize())
+	}
+	for _, verify := range []bool{true, false} {
+		eng := sim.NewEngine()
+		sw := NewSwitch(eng, sim.Microsecond)
+		sw.Verify = verify
+		sw.Attach(packet.APIP(1), &recorder{eng: eng})
+		for _, m := range msgs {
+			if err := sw.Send(packet.ControllerIP, packet.APIP(1), m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.Run()
+		_, _, bytes := sw.Stats()
+		if bytes != want {
+			t.Errorf("Verify=%v: bytes = %d, want %d", verify, bytes, want)
+		}
+	}
+}
+
+// Dropped messages never hit the wire, so they must not be counted.
+func TestByteAccountingSkipsDropped(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, sim.Microsecond)
+	sw.Verify = false
+	sw.Attach(packet.APIP(1), &recorder{eng: eng})
+	sw.Drop = func(packet.IPv4Addr, packet.Message) bool { return true }
+	_ = sw.Send(packet.ControllerIP, packet.APIP(1), &packet.Stop{})
+	if _, _, bytes := sw.Stats(); bytes != 0 {
+		t.Errorf("dropped message accounted %d bytes", bytes)
+	}
+}

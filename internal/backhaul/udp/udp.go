@@ -1,0 +1,244 @@
+// Package udp is the live backhaul.Fabric (DESIGN.md §12): it carries every
+// packet.Message over real UDP sockets, so controller and AP protocol cores
+// that exchange typed structs in simulation exchange their actual wire
+// encodings between processes in live mode. The paper's backhaul is a
+// switched Ethernet LAN (§4); UDP over that LAN preserves its two properties
+// the protocols depend on — sub-millisecond delivery and occasional silent
+// loss (§3.1.2's 30 ms retransmission timeout exists for exactly that).
+//
+// Addressing stays virtual: nodes keep their simulator identities
+// (packet.ControllerIP, packet.APIP(i)) and a static table maps each virtual
+// address to the UDP endpoint hosting it. Every datagram is
+//
+//	[4B from][4B to][packet.Encode(msg)]
+//
+// so a single socket can host several virtual nodes and the receiver can
+// attribute the message without trusting the kernel-reported source.
+//
+// Inbound datagrams are decoded on the reader goroutine but dispatched with
+// Clock.After(0, ...), which serializes them onto the clock's run loop —
+// protocol cores see the same one-event-at-a-time world as in simulation.
+package udp
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"wgtt/internal/backhaul"
+	"wgtt/internal/packet"
+	"wgtt/internal/runtime"
+)
+
+// header is the datagram prefix: two 4-byte virtual IPv4 addresses.
+const header = 8
+
+// maxDatagram bounds one message on the wire: header + the codec's 3-byte
+// envelope + a 16-bit payload length.
+const maxDatagram = header + 3 + 65535
+
+// Stats counts fabric activity. Bytes counts encoded message bytes
+// (envelope + payload, excluding the 8-byte addressing header), matching the
+// in-memory Switch's accounting so live and simulated byte counts compare.
+type Stats struct {
+	Sent       uint64 // datagrams written
+	Received   uint64 // datagrams delivered to a local node
+	Bytes      uint64 // encoded message bytes sent
+	DecodeErrs uint64 // inbound datagrams dropped as malformed
+	Unroutable uint64 // inbound datagrams for addresses not hosted here
+}
+
+// Fabric implements backhaul.Fabric over one UDP socket.
+type Fabric struct {
+	clk  runtime.Clock
+	conn *net.UDPConn
+
+	mu    sync.Mutex
+	nodes map[packet.IPv4Addr]backhaul.Node
+	peers map[packet.IPv4Addr]*net.UDPAddr
+	// order lists every address this fabric can reach (peers and local
+	// nodes) in ascending byte order — Broadcast's deterministic sequence.
+	order []packet.IPv4Addr
+
+	stats Stats
+
+	started bool
+	done    chan struct{}
+}
+
+// New builds a fabric on a pre-bound socket. table maps every REMOTE virtual
+// address to its "host:port"; local nodes are added with Attach. Call Start
+// once the local nodes are attached.
+func New(clk runtime.Clock, conn *net.UDPConn, table map[packet.IPv4Addr]string) (*Fabric, error) {
+	f := &Fabric{
+		clk:   clk,
+		conn:  conn,
+		nodes: make(map[packet.IPv4Addr]backhaul.Node),
+		peers: make(map[packet.IPv4Addr]*net.UDPAddr, len(table)),
+		done:  make(chan struct{}),
+	}
+	for addr, ep := range table {
+		ua, err := net.ResolveUDPAddr("udp", ep)
+		if err != nil {
+			return nil, fmt.Errorf("udp: resolving %v -> %q: %w", addr, ep, err)
+		}
+		f.peers[addr] = ua
+		f.insert(addr)
+	}
+	return f, nil
+}
+
+// insert adds addr to the sorted broadcast order (idempotent). Callers hold
+// no lock during construction; Attach takes f.mu.
+func (f *Fabric) insert(addr packet.IPv4Addr) {
+	i := sort.Search(len(f.order), func(i int) bool {
+		return bytes.Compare(f.order[i][:], addr[:]) >= 0
+	})
+	if i < len(f.order) && f.order[i] == addr {
+		return
+	}
+	f.order = append(f.order, packet.IPv4Addr{})
+	copy(f.order[i+1:], f.order[i:])
+	f.order[i] = addr
+}
+
+// Attach implements backhaul.Fabric: registers a node hosted by this
+// process. Attach before Start; attaching twice replaces the node.
+func (f *Fabric) Attach(addr packet.IPv4Addr, n backhaul.Node) {
+	if n == nil {
+		panic("udp: nil node")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.nodes[addr] = n
+	f.insert(addr)
+}
+
+// Start launches the reader goroutine. The fabric stops when the socket is
+// closed (Close or an external close of the conn).
+func (f *Fabric) Start() {
+	f.mu.Lock()
+	if f.started {
+		f.mu.Unlock()
+		return
+	}
+	f.started = true
+	f.mu.Unlock()
+	go f.readLoop()
+}
+
+// Close shuts the socket down, ending the reader goroutine.
+func (f *Fabric) Close() error {
+	err := f.conn.Close()
+	f.mu.Lock()
+	started := f.started
+	f.mu.Unlock()
+	if started {
+		<-f.done
+	}
+	return err
+}
+
+// Send implements backhaul.Fabric. Every message — remote or loopback to a
+// node on this same fabric — passes through packet.Encode; remote ones
+// additionally pass through a real socket.
+func (f *Fabric) Send(from, to packet.IPv4Addr, msg packet.Message) error {
+	raw := packet.Encode(msg)
+	f.mu.Lock()
+	peer := f.peers[to]
+	local := f.nodes[to]
+	f.mu.Unlock()
+	if peer == nil && local == nil {
+		return fmt.Errorf("udp: no route to %v", to)
+	}
+	f.mu.Lock()
+	f.stats.Bytes += uint64(len(raw))
+	f.stats.Sent++
+	f.mu.Unlock()
+	if peer == nil {
+		// Local virtual node: skip the socket but not the codec — decode the
+		// encoded bytes exactly as the remote path would.
+		f.dispatch(from, to, raw)
+		return nil
+	}
+	buf := make([]byte, 0, header+len(raw))
+	buf = append(buf, from[:]...)
+	buf = append(buf, to[:]...)
+	buf = append(buf, raw...)
+	_, err := f.conn.WriteToUDP(buf, peer)
+	return err
+}
+
+// Broadcast implements backhaul.Fabric: Send to every known address except
+// the sender, in ascending address order. Delivery errors are dropped —
+// broadcast loss is silent, as on the real LAN.
+func (f *Fabric) Broadcast(from packet.IPv4Addr, msg packet.Message) {
+	f.mu.Lock()
+	targets := append([]packet.IPv4Addr(nil), f.order...)
+	f.mu.Unlock()
+	for _, addr := range targets {
+		if addr == from {
+			continue
+		}
+		_ = f.Send(from, addr, msg)
+	}
+}
+
+// Stats returns a snapshot of the fabric counters.
+func (f *Fabric) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// LocalAddr returns the socket's bound address.
+func (f *Fabric) LocalAddr() *net.UDPAddr { return f.conn.LocalAddr().(*net.UDPAddr) }
+
+// dispatch decodes one encoded message and posts it onto the clock's run
+// loop for the node hosted at to. Malformed or unroutable datagrams are
+// counted and dropped — a fabric must survive any bytes the network hands
+// it (the codec's FuzzDecode pins the "no panics" half of that).
+func (f *Fabric) dispatch(from, to packet.IPv4Addr, raw []byte) {
+	msg, err := packet.Decode(raw)
+	f.mu.Lock()
+	if err != nil {
+		f.stats.DecodeErrs++
+		f.mu.Unlock()
+		return
+	}
+	node := f.nodes[to]
+	if node == nil {
+		f.stats.Unroutable++
+		f.mu.Unlock()
+		return
+	}
+	f.stats.Received++
+	f.mu.Unlock()
+	f.clk.After(0, func() { node.HandleBackhaul(from, msg) })
+}
+
+// readLoop receives datagrams until the socket closes.
+func (f *Fabric) readLoop() {
+	defer close(f.done)
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := f.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed socket (or unrecoverable error): reader exits
+		}
+		if n < header+3 {
+			f.mu.Lock()
+			f.stats.DecodeErrs++
+			f.mu.Unlock()
+			continue
+		}
+		var from, to packet.IPv4Addr
+		copy(from[:], buf[:4])
+		copy(to[:], buf[4:8])
+		raw := make([]byte, n-header)
+		copy(raw, buf[header:n])
+		f.dispatch(from, to, raw)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"wgtt/internal/csi"
 	"wgtt/internal/metrics"
 	"wgtt/internal/packet"
+	"wgtt/internal/runtime"
 	"wgtt/internal/sim"
 )
 
@@ -189,7 +190,7 @@ type switchOp struct {
 	from, to int
 	sentAt   sim.Time
 	attempts int
-	timer    sim.Timer
+	timer    runtime.Timer
 	// forced marks a failover op driven by direct starts instead of the
 	// stop→start handshake (the from-AP is dead and would never answer).
 	forced bool
@@ -224,11 +225,13 @@ type clientCtl struct {
 	UplinkUnique, UplinkDuplicate uint64
 }
 
-// Controller is the WGTT controller.
+// Controller is the WGTT controller. It is clock- and transport-agnostic:
+// all timing goes through a runtime.Clock (virtual in simulation, wall in
+// live mode) and all messaging through a backhaul.Fabric (DESIGN.md §12).
 type Controller struct {
 	cfg Config
-	eng *sim.Engine
-	bh  *backhaul.Switch
+	clk runtime.Clock
+	bh  backhaul.Fabric
 	aps []APInfo
 
 	clients map[packet.MACAddr]*clientCtl
@@ -273,10 +276,10 @@ type Controller struct {
 
 // New creates a controller commanding the given APs and attaches it to the
 // backhaul at packet.ControllerIP.
-func New(cfg Config, eng *sim.Engine, bh *backhaul.Switch, aps []APInfo) *Controller {
+func New(cfg Config, clk runtime.Clock, bh backhaul.Fabric, aps []APInfo) *Controller {
 	c := &Controller{
 		cfg:     cfg,
-		eng:     eng,
+		clk:     clk,
 		bh:      bh,
 		aps:     aps,
 		clients: make(map[packet.MACAddr]*clientCtl),
@@ -290,7 +293,7 @@ func New(cfg Config, eng *sim.Engine, bh *backhaul.Switch, aps []APInfo) *Contro
 		for i := range c.health {
 			c.health[i].alive = true
 		}
-		eng.After(cfg.HealthInterval, c.healthTick)
+		clk.After(cfg.HealthInterval, c.healthTick)
 	}
 	bh.Attach(packet.ControllerIP, c)
 	return c
@@ -335,7 +338,7 @@ func (c *Controller) MedianESNR(mac packet.MACAddr, apID int) (float64, bool) {
 	if cl == nil || apID < 0 || apID >= len(cl.windows) {
 		return 0, false
 	}
-	return cl.windows[apID].median(c.eng.Now())
+	return cl.windows[apID].median(c.clk.Now())
 }
 
 // HandleBackhaul implements backhaul.Node.
@@ -385,12 +388,12 @@ func (c *Controller) handleCSI(m *packet.CSIReport) {
 	c.snrScratch = m.SNRdBInto(c.snrScratch)
 	esnr := csi.ESNRdB(c.snrScratch, csi.DefaultESNRModulation)
 	at := sim.Time(m.At)
-	if now := c.eng.Now(); at > now || at < now-c.cfg.Window {
+	if now := c.clk.Now(); at > now || at < now-c.cfg.Window {
 		at = now
 	}
 	cl.windows[apID].push(at, esnr)
 	c.met.windowOcc.Observe(float64(cl.windows[apID].size()))
-	cl.lastHeard[apID] = c.eng.Now()
+	cl.lastHeard[apID] = c.clk.Now()
 	cl.heardEver[apID] = true
 	c.evaluate(cl)
 }
@@ -400,7 +403,7 @@ func (c *Controller) evaluate(cl *clientCtl) {
 	if cl.op != nil {
 		return // one outstanding switch at a time
 	}
-	now := c.eng.Now()
+	now := c.clk.Now()
 	if now-cl.lastSwitch < c.cfg.Hysteresis {
 		// Dwell-time suppression: the §3.1.1 rule would have re-run here
 		// but the Fig. 22 hysteresis holds the serving AP.
@@ -461,7 +464,7 @@ func (c *Controller) initiateSwitch(cl *clientCtl, to int, fromMed, toMed float6
 		return
 	}
 	c.switchSeq++
-	op := &switchOp{id: c.switchSeq, from: cl.serving, to: to, sentAt: c.eng.Now()}
+	op := &switchOp{id: c.switchSeq, from: cl.serving, to: to, sentAt: c.clk.Now()}
 	cl.op = op
 	c.Stats.SwitchesStarted++
 	c.met.switchesStarted.Inc()
@@ -476,7 +479,7 @@ func (c *Controller) sendStop(cl *clientCtl, op *switchOp) {
 	op.attempts++
 	stop := &packet.Stop{Client: cl.mac, NextAP: c.aps[op.to].IP, SwitchID: op.id}
 	_ = c.bh.Send(packet.ControllerIP, c.aps[op.from].IP, stop)
-	op.timer = c.eng.After(c.cfg.SwitchTimeout, func() {
+	op.timer = c.clk.After(c.cfg.SwitchTimeout, func() {
 		if cl.op == op {
 			c.Stats.StopRetransmits++
 			c.met.stopRetransmits.Inc()
@@ -496,13 +499,13 @@ func (c *Controller) handleSwitchAck(m *packet.SwitchAck) {
 	op.timer.Stop()
 	cl.op = nil
 	cl.serving = op.to
-	cl.lastSwitch = c.eng.Now()
+	cl.lastSwitch = c.clk.Now()
 	rec := SwitchRecord{
-		At:       c.eng.Now(),
+		At:       c.clk.Now(),
 		Client:   cl.mac,
 		From:     op.from,
 		To:       op.to,
-		Duration: c.eng.Now() - op.sentAt,
+		Duration: c.clk.Now() - op.sentAt,
 		Attempts: op.attempts,
 		Forced:   op.forced,
 	}
@@ -537,7 +540,7 @@ func (c *Controller) SendDownlink(p *packet.Packet) error {
 	cl.nextIndex = packet.NextIndex(cl.nextIndex)
 	c.Stats.DownlinkSent++
 
-	now := c.eng.Now()
+	now := c.clk.Now()
 	anyHeard := false
 	for _, h := range cl.heardEver {
 		if h {
@@ -592,7 +595,7 @@ func (c *Controller) handleUplink(m *packet.UpData) {
 	}
 	c.Stats.UplinkUnique++
 	if c.DeliverUplink != nil {
-		c.DeliverUplink(p, c.eng.Now())
+		c.DeliverUplink(p, c.clk.Now())
 	}
 }
 

@@ -60,7 +60,7 @@ func (c *Controller) noteAPAlive(from packet.IPv4Addr) {
 		return
 	}
 	h := &c.health[id]
-	h.lastHeard = c.eng.Now()
+	h.lastHeard = c.clk.Now()
 	if !h.alive {
 		h.alive = true
 		c.Stats.APsReadmitted++
@@ -72,7 +72,7 @@ func (c *Controller) noteAPAlive(from packet.IPv4Addr) {
 // interval, declare dead those quiet through the detection timeout.
 func (c *Controller) healthTick() {
 	if !c.down {
-		now := c.eng.Now()
+		now := c.clk.Now()
 		for id := range c.health {
 			h := &c.health[id]
 			silent := now - h.lastHeard
@@ -90,14 +90,14 @@ func (c *Controller) healthTick() {
 			}
 		}
 	}
-	c.eng.After(c.cfg.HealthInterval, c.healthTick)
+	c.clk.After(c.cfg.HealthInterval, c.healthTick)
 }
 
 // markAPDead declares one AP dead and rescues its clients.
 func (c *Controller) markAPDead(id int) {
 	h := &c.health[id]
 	h.alive = false
-	h.deadSince = c.eng.Now()
+	h.deadSince = c.clk.Now()
 	c.Stats.APsMarkedDead++
 	c.met.apsMarkedDead.Inc()
 
@@ -131,7 +131,7 @@ func (c *Controller) markAPDead(id int) {
 // back to the alive AP that heard the client most recently, then to the
 // lowest-numbered alive AP. Returns -1 only when every AP is dead.
 func (c *Controller) pickFailover(cl *clientCtl) int {
-	now := c.eng.Now()
+	now := c.clk.Now()
 	best, bestMed := -1, 0.0
 	for id, w := range cl.windows {
 		if !c.apAlive(id) {
@@ -191,7 +191,7 @@ func (c *Controller) forceSwitch(cl *clientCtl, recoveryID uint32) {
 				op.timer.Stop()
 				c.Stats.ForcedSwitches++
 				c.met.forcedSwitches.Inc()
-				c.met.recoverySpans.MarkStartHandled(recoveryID, int64(c.eng.Now()))
+				c.met.recoverySpans.MarkStartHandled(recoveryID, int64(c.clk.Now()))
 				c.sendForcedStart(cl, op)
 			}
 			return
@@ -202,7 +202,7 @@ func (c *Controller) forceSwitch(cl *clientCtl, recoveryID uint32) {
 		cl.op = nil
 	}
 	c.switchSeq++
-	now := c.eng.Now()
+	now := c.clk.Now()
 	op := &switchOp{
 		id: c.switchSeq, from: cl.serving, to: to,
 		sentAt: now, forced: true, recoveryID: recoveryID,
@@ -229,7 +229,7 @@ func (c *Controller) sendForcedStart(cl *clientCtl, op *switchOp) {
 	op.attempts++
 	start := &packet.Start{Client: cl.mac, Index: cl.nextIndex, SwitchID: op.id}
 	_ = c.bh.Send(packet.ControllerIP, c.aps[op.to].IP, start)
-	op.timer = c.eng.After(c.cfg.SwitchTimeout, func() {
+	op.timer = c.clk.After(c.cfg.SwitchTimeout, func() {
 		if cl.op != op {
 			return
 		}
@@ -274,7 +274,7 @@ func (c *Controller) Recover() {
 		return
 	}
 	c.down = false
-	now := c.eng.Now()
+	now := c.clk.Now()
 	for _, mac := range c.clientOrder {
 		cl := c.clients[mac]
 		for i := range cl.windows {

@@ -15,6 +15,7 @@ import (
 	"wgtt/internal/mobility"
 	"wgtt/internal/packet"
 	"wgtt/internal/radio"
+	"wgtt/internal/runtime"
 	"wgtt/internal/sim"
 	"wgtt/internal/trace"
 )
@@ -103,6 +104,7 @@ func Build(s Scenario) (*Network, error) {
 		media = append(media, mac.NewMedium(eng, ch, rng.Stream(fmt.Sprintf("mac/medium/%d", c))))
 	}
 	medium := media[0]
+	clk := runtime.Virtual(eng)
 	bh := backhaul.NewSwitch(eng, s.backhaulLatency())
 	if s.ControlLossRate > 0 {
 		bh.Drop = backhaul.DropTypes(s.ControlLossRate, rng.Stream("backhaul/controlloss"),
@@ -197,7 +199,7 @@ func Build(s Scenario) (*Network, error) {
 			Endpoint:    ep,
 			Promiscuous: wgtt, // monitor-mode interface (§3.2.1)
 		})
-		a := ap.New(cfg, eng, bh, st, packet.ControllerIP, rng.Stream("ap/"+cfg.Name))
+		a := ap.New(cfg, clk, bh, st, packet.ControllerIP, rng.Stream("ap/"+cfg.Name))
 		n.APs = append(n.APs, a)
 		infos = append(infos, controller.APInfo{ID: i, IP: cfg.IP, MAC: cfg.MAC})
 		peerIPs = append(peerIPs, cfg.IP)
@@ -224,7 +226,7 @@ func Build(s Scenario) (*Network, error) {
 			// settings in s.Controller win over the defaults).
 			ctlCfg = ctlCfg.WithHealth()
 		}
-		n.Ctl = controller.New(ctlCfg, eng, bh, infos)
+		n.Ctl = controller.New(ctlCfg, clk, bh, infos)
 		n.Ctl.DeliverUplink = n.dispatchUplink
 	} else {
 		n.Base = baseline.NewNetwork(baseline.DefaultNetworkConfig(), eng, bh, n.APs)
@@ -315,7 +317,7 @@ func Build(s Scenario) (*Network, error) {
 		for i, a := range n.APs {
 			targets[i] = a
 		}
-		n.Chaos = chaos.NewInjector(*s.Chaos, eng, rng, targets, n.Ctl, s.Duration)
+		n.Chaos = chaos.NewInjector(*s.Chaos, clk, rng, targets, n.Ctl, s.Duration)
 		n.Chaos.Arm(bh)
 	}
 

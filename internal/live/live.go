@@ -1,0 +1,167 @@
+// Package live assembles the transport-agnostic protocol cores into
+// runnable wall-clock nodes: one controller process and N AP processes over
+// a real UDP backhaul (DESIGN.md §12). It exists to prove, end to end, that
+// the §3.1.1 selection rule and the §3.1.2 stop→start→ack switching
+// protocol — the exact code paths the simulator exercises in virtual time —
+// execute over real sockets with every backhaul message passing through its
+// wire encoding.
+//
+// Live mode has no simulated radio: each AP feeds the controller a scripted
+// CSI trace (a linear ESNR ramp), standing in for the per-frame CSI a real
+// monitor-mode NIC would deliver (§3.1.1). Two crossing ramps make the
+// controller's windowed-median argmax flip from AP 1 to AP 2, triggering a
+// complete stop→start→ack handover between the processes.
+package live
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+
+	"wgtt/internal/ap"
+	"wgtt/internal/backhaul/udp"
+	"wgtt/internal/controller"
+	"wgtt/internal/packet"
+	"wgtt/internal/runtime"
+	"wgtt/internal/sim"
+)
+
+// Client is the mobile client the live scenario hands over.
+var Client = packet.ClientMAC(1)
+
+// ClientIP is its WLAN address.
+var ClientIP = packet.ClientIP(1)
+
+// CSIScript is a linear ESNR ramp: the report stream AP i feeds the
+// controller. Reports carry a flat per-subcarrier SNR of
+// StartdB + SlopedBPerSec·t, so the controller-side ESNR tracks the ramp.
+type CSIScript struct {
+	StartdB       float64
+	SlopedBPerSec float64
+	Period        sim.Time
+}
+
+// DefaultScripts returns the two-AP crossing-ramp scenario: AP 1 starts
+// strong and fades, AP 2 starts weak and strengthens, with the crossover
+// near t ≈ 240 ms — comfortably past the controller's 10 ms window and
+// 40 ms hysteresis, so exactly one switch fires.
+func DefaultScripts() []CSIScript {
+	return []CSIScript{
+		{StartdB: 14, SlopedBPerSec: -20, Period: 2 * sim.Millisecond},
+		{StartdB: 2, SlopedBPerSec: 30, Period: 2 * sim.Millisecond},
+	}
+}
+
+// ControllerConfig is the live controller operating point: the paper's
+// selection parameters with the health monitor off (live smoke has no
+// failures to detect, and probe traffic would only add noise).
+func ControllerConfig() controller.Config {
+	cfg := controller.DefaultConfig()
+	cfg.HealthInterval = 0
+	cfg.DetectTimeout = 0
+	return cfg
+}
+
+// APConfig is the live AP operating point: default queueing, but fast
+// deterministic control processing so a smoke run completes quickly.
+func APConfig(id int) ap.Config {
+	cfg := ap.DefaultConfig(id, packet.APMAC(99))
+	cfg.StopProcessing = 2 * sim.Millisecond
+	cfg.StartProcessing = 2 * sim.Millisecond
+	cfg.ProcessingJitter = 0
+	return cfg
+}
+
+// Table maps the live topology's virtual addresses onto UDP endpoints:
+// entry 0 is the controller, entry i+1 is AP i.
+func Table(endpoints []string) map[packet.IPv4Addr]string {
+	t := make(map[packet.IPv4Addr]string, len(endpoints))
+	for i, ep := range endpoints {
+		if i == 0 {
+			t[packet.ControllerIP] = ep
+		} else {
+			t[packet.APIP(i-1)] = ep
+		}
+	}
+	return t
+}
+
+// RunController drives the controller node until one switch completes or
+// timeout elapses, and returns the completed switch record. conn is the
+// node's pre-bound socket; table maps every OTHER node's virtual address to
+// its endpoint. numAPs is the fleet size; the client starts on AP 0.
+func RunController(conn *net.UDPConn, table map[packet.IPv4Addr]string, numAPs int, timeout sim.Time) (controller.SwitchRecord, error) {
+	clk := runtime.NewWall()
+	fab, err := udp.New(clk, conn, table)
+	if err != nil {
+		return controller.SwitchRecord{}, err
+	}
+	infos := make([]controller.APInfo, numAPs)
+	for i := range infos {
+		infos[i] = controller.APInfo{ID: i, IP: packet.APIP(i), MAC: packet.APMAC(i)}
+	}
+	ctl := controller.New(ControllerConfig(), clk, fab, infos)
+	ctl.RegisterClient(Client, ClientIP, 0)
+
+	var (
+		mu  sync.Mutex
+		rec controller.SwitchRecord
+		got bool
+	)
+	ctl.OnSwitch = func(r controller.SwitchRecord) {
+		mu.Lock()
+		rec, got = r, true
+		mu.Unlock()
+		clk.Stop()
+	}
+	clk.After(timeout, clk.Stop)
+	fab.Start()
+	clk.Run()
+	_ = fab.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if !got {
+		return controller.SwitchRecord{}, fmt.Errorf("live: no switch completed within %v", timeout)
+	}
+	return rec, nil
+}
+
+// RunAP drives AP node id: the AP protocol core (stop/start handling, ack
+// emission) plus the scripted CSI source, for the given duration. serving
+// marks the AP the client is associated with at t = 0.
+func RunAP(id int, conn *net.UDPConn, table map[packet.IPv4Addr]string, script CSIScript, serving bool, duration sim.Time) (ap.Stats, error) {
+	clk := runtime.NewWall()
+	fab, err := udp.New(clk, conn, table)
+	if err != nil {
+		return ap.Stats{}, err
+	}
+	cfg := APConfig(id)
+	node := ap.New(cfg, clk, fab, nil, packet.ControllerIP, rand.New(rand.NewPCG(uint64(id), 0)))
+	node.Associate(Client, ClientIP, serving)
+
+	period := script.Period
+	if period <= 0 {
+		period = 2 * sim.Millisecond
+	}
+	var tick func()
+	tick = func() {
+		now := clk.Now()
+		db := script.StartdB + script.SlopedBPerSec*float64(now)/float64(sim.Second)
+		rep := &packet.CSIReport{Client: Client, AP: cfg.IP, At: int64(now)}
+		snr := make([]float64, packet.CSISubcarriers)
+		for i := range snr {
+			snr[i] = db
+		}
+		rep.QuantizeSNR(snr)
+		_ = fab.Send(cfg.IP, packet.ControllerIP, rep)
+		clk.After(period, tick)
+	}
+	clk.After(period, tick)
+	clk.After(duration, clk.Stop)
+	fab.Start()
+	clk.Run()
+	_ = fab.Close()
+	return node.Stats, nil
+}

@@ -1,0 +1,119 @@
+package live
+
+import (
+	"net"
+	"testing"
+
+	"wgtt/internal/ap"
+	"wgtt/internal/controller"
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+func bind(t *testing.T) *net.UDPConn {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// Three wall-clock nodes over UDP loopback — controller plus two APs with
+// crossing CSI ramps — must complete one full §3.1.2 stop→start→ack switch
+// from AP 0 to AP 1, every message crossing a real socket in wire encoding.
+func TestThreeNodeSwitchOverLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time multi-node run")
+	}
+	conns := []*net.UDPConn{bind(t), bind(t), bind(t)}
+	eps := make([]string, len(conns))
+	for i, c := range conns {
+		eps[i] = c.LocalAddr().String()
+	}
+	full := Table(eps)
+	// Each node's table lists the other nodes only.
+	tableFor := func(self packet.IPv4Addr) map[packet.IPv4Addr]string {
+		m := make(map[packet.IPv4Addr]string, len(full)-1)
+		for a, ep := range full {
+			if a != self {
+				m[a] = ep
+			}
+		}
+		return m
+	}
+
+	scripts := DefaultScripts()
+	type apResult struct {
+		stats ap.Stats
+		err   error
+	}
+	apDone := make([]chan apResult, 2)
+	for i := range apDone {
+		apDone[i] = make(chan apResult, 1)
+		go func(id int) {
+			st, err := RunAP(id, conns[id+1], tableFor(packet.APIP(id)), scripts[id], id == 0, 2*sim.Second)
+			apDone[id] <- apResult{st, err}
+		}(i)
+	}
+
+	rec, err := RunController(conns[0], tableFor(packet.ControllerIP), 2, 2*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.From != 0 || rec.To != 1 {
+		t.Fatalf("switch %d -> %d, want 0 -> 1", rec.From, rec.To)
+	}
+	if rec.Client != Client {
+		t.Fatalf("switched client %v, want %v", rec.Client, Client)
+	}
+	if rec.Duration <= 0 {
+		t.Fatalf("switch duration %v, want > 0 (real elapsed time)", rec.Duration)
+	}
+	if rec.Forced {
+		t.Fatal("switch reported forced; want a clean stop->start->ack handshake")
+	}
+
+	for i, ch := range apDone {
+		res := <-ch
+		if res.err != nil {
+			t.Fatalf("AP %d: %v", i, res.err)
+		}
+		if res.stats.CSIReports == 0 {
+			// The live CSI source bypasses ap.Stats (it sends directly on
+			// the fabric), so assert protocol activity instead.
+			_ = res.stats
+		}
+		switch i {
+		case 0:
+			if res.stats.StopsHandled == 0 {
+				t.Errorf("AP 0 handled no stop")
+			}
+		case 1:
+			if res.stats.StartsHandled == 0 {
+				t.Errorf("AP 1 handled no start")
+			}
+		}
+	}
+}
+
+// The live controller config must keep the paper's §3.1.1/§3.1.2 operating
+// point with the health monitor disabled.
+func TestControllerConfig(t *testing.T) {
+	cfg := ControllerConfig()
+	def := controller.DefaultConfig()
+	if cfg.Window != def.Window || cfg.Hysteresis != def.Hysteresis || cfg.SwitchTimeout != def.SwitchTimeout {
+		t.Fatalf("live config diverged from the paper operating point: %+v", cfg)
+	}
+	if cfg.HealthInterval != 0 || cfg.DetectTimeout != 0 {
+		t.Fatal("health monitor must be off in live smoke")
+	}
+}
+
+// Table must place the controller at entry 0 and AP i at entry i+1.
+func TestTableLayout(t *testing.T) {
+	tb := Table([]string{"a:1", "b:2", "c:3"})
+	if tb[packet.ControllerIP] != "a:1" || tb[packet.APIP(0)] != "b:2" || tb[packet.APIP(1)] != "c:3" {
+		t.Fatalf("table = %v", tb)
+	}
+}
