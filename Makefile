@@ -6,11 +6,11 @@
 GO ?= go
 
 RACE_PKGS = ./internal/fleet ./internal/eval ./internal/trace ./internal/stats \
-	./internal/runtime ./internal/backhaul/udp ./internal/live
+	./internal/runtime ./internal/backhaul/udp ./internal/live ./internal/federation
 
-.PHONY: check vet build test race bench bench-smoke fleet-determinism docs-check lint chaos-smoke live-smoke fuzz-smoke
+.PHONY: check vet build test race bench bench-smoke fleet-determinism docs-check lint chaos-smoke live-smoke federation-smoke fuzz-smoke
 
-check: vet lint build test race bench-smoke chaos-smoke live-smoke fuzz-smoke docs-check
+check: vet lint build test race bench-smoke chaos-smoke live-smoke federation-smoke fuzz-smoke docs-check
 
 # Static analysis beyond vet. The tools are optional — not every build
 # environment ships them — so each is gated on availability rather than
@@ -82,6 +82,21 @@ live-smoke:
 	$(GO) build -o /tmp/wgtt-live ./cmd/wgtt-live
 	/tmp/wgtt-live -aps 2 -timeout 10s
 	@echo live-smoke: multi-process switch over UDP loopback complete
+
+# Federation smoke (part of check, DESIGN.md §13): two controller OS
+# processes hand one client across domains over UDP loopback — run twice
+# and compared byte for byte — then a 2-domain fleet must render identical
+# reports for 1 and 4 workers (the sim half of the same contract).
+federation-smoke:
+	$(GO) build -o /tmp/wgtt-live ./cmd/wgtt-live
+	/tmp/wgtt-live -federation -timeout 10s > /tmp/fed-run1.txt
+	/tmp/wgtt-live -federation -timeout 10s > /tmp/fed-run2.txt
+	cmp /tmp/fed-run1.txt /tmp/fed-run2.txt
+	$(GO) build -o /tmp/wgtt-fleet ./cmd/wgtt-fleet
+	/tmp/wgtt-fleet -cells 2 -domains 2 -seed 7 -workers 1 2>/dev/null > /tmp/fed-fleet-w1.txt
+	/tmp/wgtt-fleet -cells 2 -domains 2 -seed 7 -workers 4 2>/dev/null > /tmp/fed-fleet-w4.txt
+	cmp /tmp/fed-fleet-w1.txt /tmp/fed-fleet-w4.txt
+	@echo federation-smoke: inter-controller handoff deterministic live and in sim
 
 # Wire-codec fuzz smoke (part of check): a short coverage-guided run of
 # FuzzDecode on top of its seed corpus — malformed backhaul bytes must never

@@ -12,6 +12,7 @@
 //
 //	wgtt-fleet -cells 32 -seed 7 -workers 8
 //	wgtt-fleet -cells 4 -aps 16 -arrivals 12 -trace-dir /tmp/fleet
+//	wgtt-fleet -cells 8 -domains 2        # sharded controller tier per cell (DESIGN.md §13)
 package main
 
 import (
@@ -42,6 +43,7 @@ func main() {
 		speeds     = flag.String("speeds", "15,25,35", "speed mix, mph (comma-separated)")
 		tcpFrac    = flag.Float64("tcp-frac", 0.5, "fraction of vehicles with TCP workload")
 		udpRate    = flag.Float64("rate", 20, "UDP offered load per vehicle, Mb/s")
+		domains    = flag.Int("domains", 1, "controller domains per cell (DESIGN.md §13; 1 = single controller)")
 		traceDir   = flag.String("trace-dir", "", "write per-cell JSONL event traces here")
 		metricsOut = flag.String("metrics", "",
 			"write a merged metrics snapshot (JSON) to this file; '-' prints a table to stdout")
@@ -84,6 +86,7 @@ func main() {
 		SpeedsMPH:      mix,
 		TCPFraction:    *tcpFrac,
 		UDPRateMbps:    *udpRate,
+		Domains:        *domains,
 		TraceDir:       *traceDir,
 		Metrics:        *metricsOut != "",
 	}

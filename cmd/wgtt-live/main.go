@@ -8,9 +8,15 @@
 //
 //	wgtt-live                   # orchestrate: spawn controller + 2 APs, wait for the switch
 //	wgtt-live -aps 3 -timeout 5s
+//	wgtt-live -federation       # two controller processes hand the client across domains
+//
+// With -federation the orchestrator spawns two controller processes — one
+// per single-AP domain (DESIGN.md §13) — plus the two APs; the run succeeds
+// when domain 1 adopts the client from domain 0 over the wire and completes
+// the stop→start→ack on its own domain.
 //
 // The orchestrator re-execs itself for the node roles (-role controller,
-// -role ap); those are plumbing, not user entry points.
+// -role fedcontroller, -role ap); those are plumbing, not user entry points.
 package main
 
 import (
@@ -29,23 +35,31 @@ import (
 
 func main() {
 	var (
-		role    = flag.String("role", "run", "run | controller | ap (node roles are spawned internally)")
-		apID    = flag.Int("id", 0, "AP id (role=ap)")
-		listen  = flag.String("listen", "", "UDP address to bind (node roles)")
-		table   = flag.String("table", "", "comma-separated endpoints: controller,ap0,ap1,... (node roles)")
-		aps     = flag.Int("aps", 2, "number of AP processes (role=run)")
-		timeout = flag.Duration("timeout", 10*time.Second, "give up if no switch completes in this long")
+		role       = flag.String("role", "run", "run | controller | fedcontroller | ap (node roles are spawned internally)")
+		apID       = flag.Int("id", 0, "AP id (role=ap)")
+		domain     = flag.Int("domain", 0, "controller domain id (role=fedcontroller)")
+		listen     = flag.String("listen", "", "UDP address to bind (node roles)")
+		table      = flag.String("table", "", "comma-separated endpoints: controller,ap0,ap1,... (node roles)")
+		aps        = flag.Int("aps", 2, "number of AP processes (role=run)")
+		federation = flag.Bool("federation", false, "run the two-controller inter-domain handoff scenario (role=run)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "give up if no switch completes in this long")
 	)
 	flag.Parse()
 
 	var err error
 	switch *role {
 	case "run":
-		err = orchestrate(*aps, *timeout)
+		if *federation {
+			err = orchestrateFed(*timeout)
+		} else {
+			err = orchestrate(*aps, *timeout)
+		}
 	case "controller":
 		err = runController(*listen, strings.Split(*table, ","), *timeout)
+	case "fedcontroller":
+		err = runFedController(*domain, *listen, strings.Split(*table, ","), *timeout)
 	case "ap":
-		err = runAP(*apID, *listen, strings.Split(*table, ","), *timeout)
+		err = runAP(*apID, *listen, strings.Split(*table, ","), *federation, *timeout)
 	default:
 		err = fmt.Errorf("unknown role %q", *role)
 	}
@@ -129,9 +143,66 @@ func orchestrate(numAPs int, timeout time.Duration) error {
 	return nil
 }
 
+// orchestrateFed spawns the federated topology — two controller processes
+// (one per single-AP domain) plus two APs — and waits for the adopting
+// domain to report a completed inter-controller handoff. Only stable facts
+// reach stdout, so back-to-back runs are byte-identical (the smoke check
+// compares them).
+func orchestrateFed(timeout time.Duration) error {
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	// Endpoint layout (live.FedTable): controller0, controller1, ap0, ap1.
+	addrs, err := freeAddrs(live.FedDomains + 2)
+	if err != nil {
+		return err
+	}
+	tableArg := strings.Join(addrs, ",")
+
+	spawn := func(args ...string) (*exec.Cmd, error) {
+		cmd := exec.Command(self, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		return cmd, cmd.Start()
+	}
+
+	var procs []*exec.Cmd
+	defer func() {
+		for _, p := range procs {
+			_ = p.Process.Kill()
+			_ = p.Wait()
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		p, err := spawn("-role", "ap", "-id", fmt.Sprint(i), "-federation",
+			"-listen", addrs[live.FedDomains+i], "-table", tableArg, "-timeout", timeout.String())
+		if err != nil {
+			return fmt.Errorf("spawning AP %d: %w", i, err)
+		}
+		procs = append(procs, p)
+	}
+	ctl0, err := spawn("-role", "fedcontroller", "-domain", "0",
+		"-listen", addrs[0], "-table", tableArg, "-timeout", timeout.String())
+	if err != nil {
+		return fmt.Errorf("spawning controller 0: %w", err)
+	}
+	procs = append(procs, ctl0)
+	ctl1, err := spawn("-role", "fedcontroller", "-domain", "1",
+		"-listen", addrs[1], "-table", tableArg, "-timeout", timeout.String())
+	if err != nil {
+		return fmt.Errorf("spawning controller 1: %w", err)
+	}
+	if err := ctl1.Wait(); err != nil {
+		return fmt.Errorf("controller 1: %w", err)
+	}
+	fmt.Printf("wgtt-live: federation OK — %d processes over UDP loopback\n", live.FedDomains+2)
+	return nil
+}
+
 // bindAndTable is the node-role common setup: bind the assigned address and
-// build the peer table (everyone but self).
-func bindAndTable(listen string, endpoints []string, self packet.IPv4Addr) (*net.UDPConn, map[packet.IPv4Addr]string, error) {
+// strip self from a full endpoint table.
+func bindAndTable(listen string, full map[packet.IPv4Addr]string, self packet.IPv4Addr) (*net.UDPConn, map[packet.IPv4Addr]string, error) {
 	ua, err := net.ResolveUDPAddr("udp", listen)
 	if err != nil {
 		return nil, nil, err
@@ -140,13 +211,12 @@ func bindAndTable(listen string, endpoints []string, self packet.IPv4Addr) (*net
 	if err != nil {
 		return nil, nil, err
 	}
-	table := live.Table(endpoints)
-	delete(table, self)
-	return conn, table, nil
+	delete(full, self)
+	return conn, full, nil
 }
 
 func runController(listen string, endpoints []string, timeout time.Duration) error {
-	conn, table, err := bindAndTable(listen, endpoints, packet.ControllerIP)
+	conn, table, err := bindAndTable(listen, live.Table(endpoints), packet.ControllerIP)
 	if err != nil {
 		return err
 	}
@@ -160,8 +230,34 @@ func runController(listen string, endpoints []string, timeout time.Duration) err
 	return nil
 }
 
-func runAP(id int, listen string, endpoints []string, timeout time.Duration) error {
-	conn, table, err := bindAndTable(listen, endpoints, packet.APIP(id))
+func runFedController(domain int, listen string, endpoints []string, timeout time.Duration) error {
+	conn, table, err := bindAndTable(listen, live.FedTable(endpoints), packet.DomainControllerIP(domain))
+	if err != nil {
+		return err
+	}
+	rec, got, err := live.RunFedController(domain, conn, table, sim.Time(timeout))
+	if err != nil {
+		return err
+	}
+	if got {
+		// Stable facts only: the federation smoke compares two runs' stdout
+		// byte for byte, so no durations or attempt counts here.
+		fmt.Printf("wgtt-live: federation handoff complete client=%v domain%d->domain%d ap%d->ap%d forced=%v\n",
+			rec.Client, rec.From, rec.To, rec.FromAP, rec.ToAP, rec.Forced)
+	}
+	return nil
+}
+
+func runAP(id int, listen string, endpoints []string, fed bool, timeout time.Duration) error {
+	full := live.Table(endpoints)
+	ctlAddr := packet.ControllerIP
+	if fed {
+		// Federated topology: AP i belongs to domain i and reports to its
+		// own domain controller (live.FedCity).
+		full = live.FedTable(endpoints)
+		ctlAddr = packet.DomainControllerIP(id)
+	}
+	conn, table, err := bindAndTable(listen, full, packet.APIP(id))
 	if err != nil {
 		return err
 	}
@@ -171,6 +267,6 @@ func runAP(id int, listen string, endpoints []string, timeout time.Duration) err
 	}
 	// APs outlive the switch by running to the full timeout; the
 	// orchestrator kills them once the controller reports success.
-	_, err = live.RunAP(id, conn, table, scripts[id], id == 0, sim.Time(timeout))
+	_, err = live.RunAP(id, conn, table, ctlAddr, scripts[id], id == 0, sim.Time(timeout))
 	return err
 }

@@ -27,6 +27,7 @@ func main() {
 		clients    = flag.Int("clients", 1, "number of clients (1-3)")
 		pattern    = flag.String("pattern", "following", "following | parallel | opposing")
 		seed       = flag.Uint64("seed", 42, "scenario seed")
+		domains    = flag.Int("domains", 1, "controller domains (DESIGN.md §13; 1 = single controller)")
 		verbose    = flag.Bool("v", false, "per-second progress")
 		traceOut   = flag.String("trace", "", "write a JSONL event trace to this file")
 		metricsOut = flag.String("metrics", "",
@@ -54,6 +55,7 @@ func main() {
 		}
 		s = core.MultiClientScenario(mode, pat, *clients, *speed, *seed)
 	}
+	s.Domains = *domains
 	if *chaosOn {
 		ccfg := chaos.DefaultConfig()
 		ccfg.APCrashMTBF = sim.FromSeconds(*chaosMTBF)
@@ -121,10 +123,15 @@ func main() {
 				c+1, mbps, udps[c].Receiver.LossRate())
 		}
 	}
-	if n.Ctl != nil {
-		st := n.Ctl.Stats
+	if mode == core.ModeWGTT {
+		st := n.CtlStats()
 		fmt.Printf("controller: %d switches (%d retransmitted stops), %d CSI reports, uplink %d unique / %d dup\n",
 			st.SwitchesDone, st.StopRetransmits, st.CSIReports, st.UplinkUnique, st.UplinkDuplicate)
+		if n.Fed != nil {
+			fs := n.FedStats()
+			fmt.Printf("federation: %d domains, %d handoffs (%d offers, %d aborts), %d cross-domain switches\n",
+				*domains, fs.Adoptions, fs.OffersSent, fs.Aborts, fs.CrossSwitches)
+		}
 	} else {
 		fmt.Printf("baseline: %d handovers\n", len(n.Base.Handovers))
 	}
@@ -134,8 +141,8 @@ func main() {
 		cs := n.Chaos.Stats
 		fmt.Printf("chaos: %d AP crashes (%d restarts, %d skipped), %d burst drops, %d CSI-blackout drops\n",
 			cs.APCrashes, cs.APRestarts, cs.CrashesSkipped, cs.BurstDrops, cs.BlackoutDrops)
-		if n.Ctl != nil {
-			st := n.Ctl.Stats
+		if mode == core.ModeWGTT {
+			st := n.CtlStats()
 			fmt.Printf("recovery: %d APs marked dead, %d readmitted, %d forced switches, %d health probes\n",
 				st.APsMarkedDead, st.APsReadmitted, st.ForcedSwitches, st.HealthProbes)
 		}

@@ -208,6 +208,14 @@ func (f *Fabric) dispatch(from, to packet.IPv4Addr, raw []byte) {
 		f.mu.Unlock()
 		return
 	}
+	if len(raw) != 3+msg.WireSize() {
+		// Trailing bytes after a well-formed message: the codec tolerates
+		// them (stream framing), but a datagram is exactly one message —
+		// count the malformation rather than silently accepting it.
+		f.stats.DecodeErrs++
+		f.mu.Unlock()
+		return
+	}
 	node := f.nodes[to]
 	if node == nil {
 		f.stats.Unroutable++

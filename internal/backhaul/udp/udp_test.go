@@ -233,6 +233,54 @@ func TestMalformedDatagramsSurvived(t *testing.T) {
 	}
 }
 
+// Every malformed-datagram class must increment DecodeErrs exactly once and
+// deliver nothing: truncated envelope, lying length field, unknown type, and
+// — the class the codec alone tolerates — trailing bytes after a
+// well-formed message (a datagram is exactly one message).
+func TestDecodeErrorAccountingPerClass(t *testing.T) {
+	conn := listen(t)
+	clk := runtime.NewWall()
+	go clk.Run()
+	defer clk.Stop()
+	f, err := New(clk, conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := newCollector()
+	f.Attach(packet.APIP(0), rx)
+	f.Start()
+	defer f.Close()
+
+	valid := packet.Encode(&packet.HealthProbe{Seq: 4, At: 1})
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"truncated envelope", []byte{byte(packet.MsgStop), 0x00}},
+		{"length field lies", []byte{byte(packet.MsgStop), 0xff, 0xff, 1, 2, 3}},
+		{"unknown type", []byte{0xee, 0x00, 0x02, 7, 7}},
+		{"trailing garbage", append(append([]byte{}, valid...), 0xab)},
+	}
+	for i, tc := range cases {
+		f.dispatch(packet.ControllerIP, packet.APIP(0), tc.raw)
+		if st := f.Stats(); st.DecodeErrs != uint64(i+1) {
+			t.Fatalf("%s: DecodeErrs = %d, want %d", tc.name, st.DecodeErrs, i+1)
+		}
+	}
+	// The exact same bytes minus the trailing garbage must deliver.
+	f.dispatch(packet.ControllerIP, packet.APIP(0), valid)
+	rx.wait(t, 1)
+	st := f.Stats()
+	if st.Received != 1 || st.DecodeErrs != uint64(len(cases)) {
+		t.Fatalf("stats = %+v, want Received 1, DecodeErrs %d", st, len(cases))
+	}
+	rx.mu.Lock()
+	defer rx.mu.Unlock()
+	if len(rx.types) != 1 || rx.types[0] != packet.MsgHealthProbe {
+		t.Fatalf("deliveries = %v, want exactly one health-probe", rx.types)
+	}
+}
+
 // A datagram addressed to a virtual node this fabric does not host is
 // counted as unroutable.
 func TestUnroutableInbound(t *testing.T) {

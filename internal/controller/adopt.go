@@ -1,0 +1,123 @@
+package controller
+
+import (
+	"wgtt/internal/packet"
+)
+
+// This file is the controller's federation surface (DESIGN.md §13): the
+// hooks a federation domain uses to move a client between controller
+// instances with its volatile state intact. The controller itself stays
+// unaware of the handoff protocol — it only knows how to export a client's
+// state bundle, install one, and hold its selection rule off a client while
+// someone else drives the switch.
+
+// AdoptClient installs a client handed over from a peer controller. Unlike
+// RegisterClient it resumes the peer's 12-bit downlink index cursor and
+// uplink de-duplication window instead of starting cold — downlink indices
+// stay continuous across the domain boundary, and packets heard by both
+// domains around the handoff are still suppressed exactly once. The client
+// enters frozen (selection held off) until SetFrozen lifts it; the adopting
+// domain unfreezes when its cross-domain stop→start→ack completes.
+// Adoption also starts a hysteresis dwell, so the new domain does not
+// immediately bounce the client back. A client already present is left
+// untouched (duplicate commit).
+func (c *Controller) AdoptClient(mac packet.MACAddr, ip packet.IPv4Addr, servingAP int,
+	nextIndex uint16, dedup []packet.DedupKey) {
+	if _, ok := c.clients[mac]; ok {
+		return
+	}
+	c.RegisterClient(mac, ip, servingAP)
+	cl := c.clients[mac]
+	cl.nextIndex = nextIndex & packet.IndexMask
+	for _, k := range dedup {
+		if _, dup := cl.dedup[k]; dup {
+			continue
+		}
+		cl.dedup[k] = struct{}{}
+		cl.dedupFIFO = append(cl.dedupFIFO, k)
+		c.dedupEntries++
+	}
+	c.met.dedupSize.Set(float64(c.dedupEntries))
+	cl.frozen = true
+	cl.lastSwitch = c.clk.Now()
+}
+
+// ReleaseClient removes a client handed off to a peer controller, dropping
+// its soft state and cancelling any in-flight switch. Reports whether the
+// client was present.
+func (c *Controller) ReleaseClient(mac packet.MACAddr) bool {
+	cl := c.clients[mac]
+	if cl == nil {
+		return false
+	}
+	if cl.op != nil {
+		cl.op.timer.Stop()
+		cl.op = nil
+	}
+	c.dedupEntries -= len(cl.dedup)
+	c.met.dedupSize.Set(float64(c.dedupEntries))
+	delete(c.clients, mac)
+	for i, m := range c.clientOrder {
+		if m == mac {
+			c.clientOrder = append(c.clientOrder[:i], c.clientOrder[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// SetFrozen holds the selection rule off a client (true) or lifts the hold
+// (false). While frozen the controller still ingests CSI, serves downlink,
+// and de-duplicates uplink — it just never initiates a switch.
+func (c *Controller) SetFrozen(mac packet.MACAddr, frozen bool) {
+	if cl := c.clients[mac]; cl != nil {
+		cl.frozen = frozen
+	}
+}
+
+// InFlightSwitch reports whether the client has a §3.1.2 handshake
+// outstanding. A federation domain defers offering a client away while one
+// is: handing off mid-switch would strand the stop/start pair.
+func (c *Controller) InFlightSwitch(mac packet.MACAddr) bool {
+	cl := c.clients[mac]
+	return cl != nil && cl.op != nil
+}
+
+// NextDownIndex returns the client's next downlink index — the cursor a
+// handoff commit carries so the adopter continues the sequence.
+func (c *Controller) NextDownIndex(mac packet.MACAddr) uint16 {
+	if cl := c.clients[mac]; cl != nil {
+		return cl.nextIndex
+	}
+	return 0
+}
+
+// DedupWindow returns up to max of the client's most recent uplink dedup
+// keys, oldest first — the bounded window a handoff commit carries.
+func (c *Controller) DedupWindow(mac packet.MACAddr, max int) []packet.DedupKey {
+	cl := c.clients[mac]
+	if cl == nil || max <= 0 {
+		return nil
+	}
+	fifo := cl.dedupFIFO
+	if len(fifo) > max {
+		fifo = fifo[len(fifo)-max:]
+	}
+	out := make([]packet.DedupKey, len(fifo))
+	copy(out, fifo)
+	return out
+}
+
+// SeedESNR pushes one synthetic reading into the (client, AP) window — how
+// an adopter installs the old owner's ESNR evidence so selection does not
+// start blind.
+func (c *Controller) SeedESNR(mac packet.MACAddr, apID int, esnrDB float64) {
+	cl := c.clients[mac]
+	if cl == nil || apID < 0 || apID >= len(cl.windows) {
+		return
+	}
+	now := c.clk.Now()
+	cl.windows[apID].push(now, esnrDB)
+	cl.lastHeard[apID] = now
+	cl.heardEver[apID] = true
+}

@@ -50,6 +50,16 @@ type Config struct {
 	// included — before it is marked dead, excluded from selection and
 	// fan-out, and its clients are force-switched away. 0 disables.
 	DetectTimeout sim.Time
+
+	// Addr is the controller's own backhaul address. Zero means
+	// packet.ControllerIP — the single-controller deployment. A federation
+	// tier (DESIGN.md §13) runs several controllers on one backhaul, each
+	// attached at its own packet.DomainControllerIP(d).
+	Addr packet.IPv4Addr
+	// SwitchIDBase offsets the switch/recovery ID sequences. Controllers
+	// sharing a backhaul and a metrics registry must not mint colliding IDs:
+	// switch spans are keyed by ID, and APs correlate stop/start/ack by it.
+	SwitchIDBase uint32
 }
 
 // Health-monitor defaults applied by WithHealth. The detection timeout
@@ -212,6 +222,11 @@ type clientCtl struct {
 	lastSwitch sim.Time
 	op         *switchOp
 
+	// frozen holds the selection rule off this client while a cross-domain
+	// handoff is in flight: the federation layer drives the stop→start→ack
+	// itself and must not race a locally-initiated switch (DESIGN.md §13).
+	frozen bool
+
 	// lastBest is the previous evaluation's argmax AP (-1 before any), the
 	// reference point for the selection-flip metric.
 	lastBest int
@@ -229,10 +244,11 @@ type clientCtl struct {
 // all timing goes through a runtime.Clock (virtual in simulation, wall in
 // live mode) and all messaging through a backhaul.Fabric (DESIGN.md §12).
 type Controller struct {
-	cfg Config
-	clk runtime.Clock
-	bh  backhaul.Fabric
-	aps []APInfo
+	cfg  Config
+	clk  runtime.Clock
+	bh   backhaul.Fabric
+	aps  []APInfo
+	addr packet.IPv4Addr
 
 	clients map[packet.MACAddr]*clientCtl
 	// clientOrder lists clients in registration order. Every whole-fleet
@@ -275,15 +291,21 @@ type Controller struct {
 }
 
 // New creates a controller commanding the given APs and attaches it to the
-// backhaul at packet.ControllerIP.
+// backhaul at cfg.Addr (packet.ControllerIP when unset).
 func New(cfg Config, clk runtime.Clock, bh backhaul.Fabric, aps []APInfo) *Controller {
+	if cfg.Addr.IsZero() {
+		cfg.Addr = packet.ControllerIP
+	}
 	c := &Controller{
-		cfg:     cfg,
-		clk:     clk,
-		bh:      bh,
-		aps:     aps,
-		clients: make(map[packet.MACAddr]*clientCtl),
-		ipToAP:  make(map[packet.IPv4Addr]int, len(aps)),
+		cfg:         cfg,
+		clk:         clk,
+		bh:          bh,
+		aps:         aps,
+		addr:        cfg.Addr,
+		switchSeq:   cfg.SwitchIDBase,
+		recoverySeq: cfg.SwitchIDBase,
+		clients:     make(map[packet.MACAddr]*clientCtl),
+		ipToAP:      make(map[packet.IPv4Addr]int, len(aps)),
 	}
 	for _, a := range aps {
 		c.ipToAP[a.IP] = a.ID
@@ -295,12 +317,15 @@ func New(cfg Config, clk runtime.Clock, bh backhaul.Fabric, aps []APInfo) *Contr
 		}
 		clk.After(cfg.HealthInterval, c.healthTick)
 	}
-	bh.Attach(packet.ControllerIP, c)
+	bh.Attach(c.addr, c)
 	return c
 }
 
 // Config returns the controller configuration.
 func (c *Controller) Config() Config { return c.cfg }
+
+// Addr returns the controller's backhaul address.
+func (c *Controller) Addr() packet.IPv4Addr { return c.addr }
 
 // RegisterClient installs a client with its initial serving AP (the AP it
 // completed 802.11 association with; §4.3 replicates that state everywhere).
@@ -403,6 +428,9 @@ func (c *Controller) evaluate(cl *clientCtl) {
 	if cl.op != nil {
 		return // one outstanding switch at a time
 	}
+	if cl.frozen {
+		return // a cross-domain handoff owns this client's switching
+	}
 	now := c.clk.Now()
 	if now-cl.lastSwitch < c.cfg.Hysteresis {
 		// Dwell-time suppression: the §3.1.1 rule would have re-run here
@@ -478,7 +506,7 @@ func (c *Controller) initiateSwitch(cl *clientCtl, to int, fromMed, toMed float6
 func (c *Controller) sendStop(cl *clientCtl, op *switchOp) {
 	op.attempts++
 	stop := &packet.Stop{Client: cl.mac, NextAP: c.aps[op.to].IP, SwitchID: op.id}
-	_ = c.bh.Send(packet.ControllerIP, c.aps[op.from].IP, stop)
+	_ = c.bh.Send(c.addr, c.aps[op.from].IP, stop)
 	op.timer = c.clk.After(c.cfg.SwitchTimeout, func() {
 		if cl.op == op {
 			c.Stats.StopRetransmits++
@@ -562,7 +590,7 @@ func (c *Controller) SendDownlink(p *packet.Packet) error {
 		if !include {
 			continue
 		}
-		_ = c.bh.Send(packet.ControllerIP, a.IP, &packet.DownData{APDst: a.IP, Pkt: p})
+		_ = c.bh.Send(c.addr, a.IP, &packet.DownData{APDst: a.IP, Pkt: p})
 		c.Stats.DownlinkCopies++
 	}
 	return nil

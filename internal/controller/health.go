@@ -86,7 +86,7 @@ func (c *Controller) healthTick() {
 				c.Stats.HealthProbes++
 				c.met.healthProbes.Inc()
 				probe := &packet.HealthProbe{Seq: c.probeSeq, At: int64(now)}
-				_ = c.bh.Send(packet.ControllerIP, c.aps[id].IP, probe)
+				_ = c.bh.Send(c.addr, c.aps[id].IP, probe)
 			}
 		}
 	}
@@ -228,7 +228,7 @@ func (c *Controller) forceSwitch(cl *clientCtl, recoveryID uint32) {
 func (c *Controller) sendForcedStart(cl *clientCtl, op *switchOp) {
 	op.attempts++
 	start := &packet.Start{Client: cl.mac, Index: cl.nextIndex, SwitchID: op.id}
-	_ = c.bh.Send(packet.ControllerIP, c.aps[op.to].IP, start)
+	_ = c.bh.Send(c.addr, c.aps[op.to].IP, start)
 	op.timer = c.clk.After(c.cfg.SwitchTimeout, func() {
 		if cl.op != op {
 			return

@@ -10,6 +10,7 @@ import (
 	"wgtt/internal/client"
 	"wgtt/internal/controller"
 	"wgtt/internal/csi"
+	"wgtt/internal/federation"
 	"wgtt/internal/mac"
 	"wgtt/internal/metrics"
 	"wgtt/internal/mobility"
@@ -49,6 +50,9 @@ type Network struct {
 
 	// WGTT mode.
 	Ctl *controller.Controller
+	// Federated WGTT mode (Scenario.Domains > 1): the sharded controller
+	// tier stands where Ctl would; Ctl stays nil (DESIGN.md §13).
+	Fed *federation.Tier
 	// Baseline mode.
 	Base    *baseline.Network
 	Roamers []*baseline.Roamer
@@ -90,6 +94,18 @@ func Build(s Scenario) (*Network, error) {
 		// The baseline has no controller to detect and recover from AP
 		// deaths; chaos against it would measure nothing but the fault.
 		return nil, fmt.Errorf("core: chaos injection is only modeled for WGTT")
+	}
+	nDom := s.Domains
+	if nDom < 1 {
+		nDom = 1
+	}
+	if nDom > 1 {
+		if s.Mode != ModeWGTT {
+			return nil, fmt.Errorf("core: controller federation is only modeled for WGTT")
+		}
+		if nCh > 1 {
+			return nil, fmt.Errorf("core: federation and multi-channel are mutually exclusive (the probe plane assumes one controller)")
+		}
 	}
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(s.Seed)
@@ -199,7 +215,9 @@ func Build(s Scenario) (*Network, error) {
 			Endpoint:    ep,
 			Promiscuous: wgtt, // monitor-mode interface (§3.2.1)
 		})
-		a := ap.New(cfg, clk, bh, st, packet.ControllerIP, rng.Stream("ap/"+cfg.Name))
+		// Each AP reports to the controller owning its domain; with one
+		// domain that is packet.ControllerIP, unchanged.
+		a := ap.New(cfg, clk, bh, st, packet.DomainControllerIP(domainOfAP(i, len(n.APPosition), nDom)), rng.Stream("ap/"+cfg.Name))
 		n.APs = append(n.APs, a)
 		infos = append(infos, controller.APInfo{ID: i, IP: cfg.IP, MAC: cfg.MAC})
 		peerIPs = append(peerIPs, cfg.IP)
@@ -226,8 +244,35 @@ func Build(s Scenario) (*Network, error) {
 			// settings in s.Controller win over the defaults).
 			ctlCfg = ctlCfg.WithHealth()
 		}
-		n.Ctl = controller.New(ctlCfg, clk, bh, infos)
-		n.Ctl.DeliverUplink = n.dispatchUplink
+		if nDom > 1 {
+			// Sharded controller tier (DESIGN.md §13): one Domain per
+			// contiguous AP block, a shared city table, and a Tier routing
+			// wired-side traffic to each client's owner.
+			if nDom > len(infos) {
+				return nil, fmt.Errorf("core: %d domains for %d APs", nDom, len(infos))
+			}
+			fedCfg := federation.DefaultConfig()
+			if s.Federation != nil {
+				fedCfg = *s.Federation
+			}
+			fedCfg.Controller = ctlCfg
+			city := make([]federation.APAssignment, len(infos))
+			for i, info := range infos {
+				city[i] = federation.APAssignment{
+					ID: i, Domain: domainOfAP(i, len(infos), nDom),
+					IP: info.IP, MAC: info.MAC,
+				}
+			}
+			domains := make([]*federation.Domain, nDom)
+			for d := 0; d < nDom; d++ {
+				domains[d] = federation.NewDomain(fedCfg, clk, bh, d, city)
+				domains[d].Controller().DeliverUplink = n.dispatchUplink
+			}
+			n.Fed = federation.NewTier(domains)
+		} else {
+			n.Ctl = controller.New(ctlCfg, clk, bh, infos)
+			n.Ctl.DeliverUplink = n.dispatchUplink
+		}
 	} else {
 		n.Base = baseline.NewNetwork(baseline.DefaultNetworkConfig(), eng, bh, n.APs)
 		n.Base.DeliverUplink = n.dispatchUplink
@@ -284,7 +329,13 @@ func Build(s Scenario) (*Network, error) {
 			for apID, a := range n.APs {
 				a.Associate(ccfg.MAC, ccfg.IP, apID == start)
 			}
-			n.Ctl.RegisterClient(ccfg.MAC, ccfg.IP, start)
+			if n.Fed != nil {
+				if err := n.Fed.RegisterClient(ccfg.MAC, ccfg.IP, start); err != nil {
+					return nil, err
+				}
+			} else {
+				n.Ctl.RegisterClient(ccfg.MAC, ccfg.IP, start)
+			}
 		} else {
 			n.Base.Associate(ccfg.MAC, ccfg.IP, start)
 			n.Roamers = append(n.Roamers,
@@ -296,13 +347,23 @@ func Build(s Scenario) (*Network, error) {
 	// switch (channel-switch announcement, ~1 ms), and run the off-channel
 	// probe plane that keeps cross-channel CSI flowing (see DESIGN.md §5).
 	if wgtt {
-		n.Ctl.OnSwitch = func(rec controller.SwitchRecord) {
+		emit := func(rec controller.SwitchRecord) {
 			if nCh > 1 {
 				n.retuneClient(rec)
 			}
 			if n.OnSwitch != nil {
 				n.OnSwitch(rec)
 			}
+		}
+		if n.Fed != nil {
+			// Domains already re-address their records to global AP ids —
+			// both inner switches and the cross-domain ones the federation
+			// layer drives itself.
+			for _, d := range n.Fed.Domains {
+				d.OnSwitch = emit
+			}
+		} else {
+			n.Ctl.OnSwitch = emit
 		}
 		if nCh > 1 {
 			n.startProbePlane()
@@ -317,7 +378,13 @@ func Build(s Scenario) (*Network, error) {
 		for i, a := range n.APs {
 			targets[i] = a
 		}
-		n.Chaos = chaos.NewInjector(*s.Chaos, clk, rng, targets, n.Ctl, s.Duration)
+		var ct chaos.ControllerTarget = n.Ctl
+		if n.Fed != nil {
+			// A ControllerCrash hits the tier's crash-target domain (domain 0
+			// by default); the other domains ride out their peer's outage.
+			ct = n.Fed
+		}
+		n.Chaos = chaos.NewInjector(*s.Chaos, clk, rng, targets, ct, s.Duration)
 		n.Chaos.Arm(bh)
 	}
 
@@ -343,6 +410,12 @@ func (n *Network) EnableMetricsInto(r *metrics.Registry) *metrics.Registry {
 	n.Metrics = r
 	if n.Ctl != nil {
 		n.Ctl.UseMetrics(r)
+	}
+	if n.Fed != nil {
+		for _, d := range n.Fed.Domains {
+			d.Controller().UseMetrics(r)
+			d.UseMetrics(r)
+		}
 	}
 	for _, a := range n.APs {
 		a.UseMetrics(r)
@@ -430,7 +503,7 @@ func (n *Network) AttachRecorder(rec *trace.Recorder) {
 		}
 		_ = apID
 	}
-	if n.Ctl != nil {
+	if n.Ctl != nil || n.Fed != nil {
 		prev := n.OnSwitch
 		n.OnSwitch = func(recd controller.SwitchRecord) {
 			rec.Log(trace.Event{
@@ -464,6 +537,9 @@ func (n *Network) SendDownlink(clientID int, p *packet.Packet) error {
 	if p.DstIP.IsZero() {
 		p.DstIP = n.Clients[clientID].Config().IP
 	}
+	if n.Fed != nil {
+		return n.Fed.SendDownlink(p)
+	}
 	if n.Ctl != nil {
 		return n.Ctl.SendDownlink(p)
 	}
@@ -473,10 +549,42 @@ func (n *Network) SendDownlink(clientID int, p *packet.Packet) error {
 // ServingAP returns which AP currently serves the client.
 func (n *Network) ServingAP(clientID int) int {
 	mac := n.Clients[clientID].Config().MAC
+	if n.Fed != nil {
+		return n.Fed.ServingAP(mac)
+	}
 	if n.Ctl != nil {
 		return n.Ctl.ServingAP(mac)
 	}
 	return n.Base.CurrentAP(mac)
+}
+
+// CtlStats aggregates the controller-plane counters: the single
+// controller's in the unfederated deployment, the sum across domains in a
+// federated one.
+func (n *Network) CtlStats() controller.Stats {
+	if n.Fed != nil {
+		return n.Fed.Stats().Ctl
+	}
+	if n.Ctl != nil {
+		return n.Ctl.Stats
+	}
+	return controller.Stats{}
+}
+
+// FedStats returns the summed federation counters (zero when unfederated).
+func (n *Network) FedStats() federation.Stats {
+	if n.Fed == nil {
+		return federation.Stats{}
+	}
+	return n.Fed.Stats().Fed
+}
+
+// domainOfAP partitions nAPs into nDom contiguous, near-equal blocks.
+func domainOfAP(i, nAPs, nDom int) int {
+	if nDom <= 1 {
+		return 0
+	}
+	return i * nDom / nAPs
 }
 
 // BestESNRAP returns the ground-truth optimal AP — the one with the highest

@@ -9,6 +9,7 @@ import (
 
 	"wgtt/internal/chaos"
 	"wgtt/internal/controller"
+	"wgtt/internal/federation"
 	"wgtt/internal/mobility"
 	"wgtt/internal/radio"
 	"wgtt/internal/sim"
@@ -93,6 +94,17 @@ type Scenario struct {
 	// AP's channel on each switch, and APs can only overhear clients on
 	// their own channel — which is exactly the trade-off §7 predicts.
 	Channels int
+	// Domains shards the controller tier (DESIGN.md §13): the APs are split
+	// into this many contiguous domains, each owned by its own controller
+	// instance, and clients are handed off between controllers as they
+	// cross domain boundaries. 0 or 1 keeps the single-controller
+	// deployment, byte-identical to builds without the federation layer.
+	// WGTT mode only; incompatible with Channels > 1 (the probe plane
+	// assumes one controller).
+	Domains int
+	// Federation overrides the federation config when non-nil (the inner
+	// Controller field is still taken from Scenario.Controller).
+	Federation *federation.Config
 	// Chaos enables deterministic fault injection (DESIGN.md §11): a fault
 	// plan is derived from the scenario seed, the AP health monitor is
 	// switched on (WithHealth, unless the Controller override already set

@@ -313,6 +313,40 @@ func TestExtResilienceDegradesGracefully(t *testing.T) {
 	}
 }
 
+func TestExtFederationCrossesDomains(t *testing.T) {
+	r, err := ExtFederation(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Domains) != 2 || r.Domains[0] != 1 {
+		t.Fatalf("quick sweep must be {1, 2}: %+v", r.Domains)
+	}
+	if r.Handoffs[0] != 0 || r.Offers[0] != 0 {
+		t.Errorf("single-controller control saw federation activity: handoffs=%d offers=%d",
+			r.Handoffs[0], r.Offers[0])
+	}
+	if r.Handoffs[1] == 0 {
+		t.Fatalf("2-domain drive completed no inter-controller handoffs: %+v", r)
+	}
+	if r.OfferCommitMS[1] <= 0 || r.CrossSwitchMS[1] <= 0 {
+		t.Errorf("handoff timings missing: xfer=%.2fms switch=%.2fms",
+			r.OfferCommitMS[1], r.CrossSwitchMS[1])
+	}
+	// The no-re-association-gap claim: the worst delivery gap straddling a
+	// handoff stays in the switching regime, not the 802.11 roaming regime.
+	if r.WorstHandoffMS[1] > 500 {
+		t.Errorf("worst handoff gap %.1f ms is unbounded", r.WorstHandoffMS[1])
+	}
+	// Federation must not tax the corridor's goodput.
+	if r.UDPMbps[1] < r.UDPMbps[0]*0.75 {
+		t.Errorf("throughput collapsed under federation: %.2f vs %.2f Mb/s",
+			r.UDPMbps[1], r.UDPMbps[0])
+	}
+	if !strings.Contains(r.Render(), "federation") {
+		t.Error("render malformed")
+	}
+}
+
 func TestRunAllParallelMatchesRegistryOrder(t *testing.T) {
 	// Two cheap artifacts, two workers: outputs must come back in registry
 	// order (fig2 precedes table3) with identical text to a serial run.

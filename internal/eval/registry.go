@@ -72,6 +72,8 @@ func Experiments() []Experiment {
 			func(o Options) (Result, error) { return ExtScale(o) }},
 		{"ext-resilience", "Extension (§11): AP-crash fault injection and recovery",
 			func(o Options) (Result, error) { return ExtResilience(o) }},
+		{"ext-federation", "Extension (§13): sharded controller tier and inter-controller handoff",
+			func(o Options) (Result, error) { return ExtFederation(o) }},
 	}
 }
 

@@ -1,0 +1,548 @@
+// Package federation is the city-scale controller tier (DESIGN.md §13). The
+// paper runs one controller per corridor (§3); a transit city is a graph of
+// corridors, each owned by its own controller *domain* — a controller
+// instance plus the set of APs it commands. Clients are sharded by
+// ownership: exactly one domain runs the §3.1.1 selection rule and §3.1.2
+// switching protocol for each client at any time. When a client's best ESNR
+// evidence crosses into a neighboring domain, the owning controller exports
+// the client's volatile state — 12-bit downlink index cursor, uplink dedup
+// window, current association, ESNR history — over the backhaul via the
+// DomainHandoffOffer/Accept/Commit wire messages, and the adopting
+// controller resumes the stop→start→ack protocol itself, pulling the client
+// onto its own AP without a re-association gap.
+//
+// A Domain wraps a controller.Controller: it attaches itself at the
+// domain's backhaul address (packet.DomainControllerIP) in the controller's
+// place, intercepts federation traffic, and forwards everything else to the
+// inner controller. The inner controller is unaware of the tier — it only
+// exposes adopt/release/freeze hooks. Like every protocol core in this
+// repo, a Domain is clock- and transport-agnostic (DESIGN.md §12): the same
+// code runs deterministically on runtime.Virtual over the in-memory switch
+// and on wall clocks over real UDP sockets between OS processes.
+package federation
+
+import (
+	"fmt"
+
+	"wgtt/internal/backhaul"
+	"wgtt/internal/controller"
+	"wgtt/internal/metrics"
+	"wgtt/internal/packet"
+	"wgtt/internal/runtime"
+	"wgtt/internal/sim"
+)
+
+// Config parameterizes one federation domain. The cross-domain decision
+// rule deliberately runs coarser than the intra-domain §3.1.1 rule: a
+// handoff moves ownership, state, and the client's switch, so it should
+// fire when the vehicle has clearly crossed the boundary, not on a median
+// flicker.
+type Config struct {
+	// Controller is the inner per-domain controller configuration; NewDomain
+	// overrides Addr and SwitchIDBase per domain.
+	Controller controller.Config
+
+	// Window is the foreign-evidence median window (the federation-layer
+	// counterpart of the controller's §3.1.1 window).
+	Window sim.Time
+	// MinSamples is the minimum in-window foreign readings before an AP's
+	// median counts as handoff evidence.
+	MinSamples int
+	// MarginDB requires the best foreign median to beat the best local
+	// median by this much before a handoff is offered.
+	MarginDB float64
+	// MinESNRdB floors the foreign evidence: a neighbor domain whose best AP
+	// cannot even carry MCS0 is not worth a handoff.
+	MinESNRdB float64
+	// Hysteresis is the minimum dwell between handoffs of one client —
+	// applied on both sides of the boundary, so a freshly adopted client is
+	// not immediately bounced back.
+	Hysteresis sim.Time
+
+	// OfferTimeout bounds the offer→accept wait; expiry aborts the handoff
+	// and the client stays with its owner.
+	OfferTimeout sim.Time
+	// CommitTimeout paces commit retransmission until the adopter's
+	// ownership announcement echoes back.
+	CommitTimeout sim.Time
+	// MaxCommitRetries bounds commit retransmission.
+	MaxCommitRetries int
+	// SwitchTimeout paces the adopter's cross-domain stop retransmission.
+	SwitchTimeout sim.Time
+	// MaxStopRetries bounds stops toward the old domain's AP before the
+	// adopter escalates to a direct start (the old AP is unreachable — the
+	// same no-cooperation fallback as DESIGN.md §11 failover).
+	MaxStopRetries int
+	// MaxDedupKeys bounds the dedup window exported in a commit (clamped to
+	// packet.MaxHandoffDedupKeys).
+	MaxDedupKeys int
+}
+
+// DefaultConfig returns the standard federation operating point.
+func DefaultConfig() Config {
+	return Config{
+		Controller:       controller.DefaultConfig(),
+		Window:           10 * sim.Millisecond,
+		MinSamples:       2,
+		MarginDB:         3,
+		MinESNRdB:        -5,
+		Hysteresis:       250 * sim.Millisecond,
+		OfferTimeout:     30 * sim.Millisecond,
+		CommitTimeout:    30 * sim.Millisecond,
+		MaxCommitRetries: 8,
+		SwitchTimeout:    30 * sim.Millisecond,
+		MaxStopRetries:   8,
+		MaxDedupKeys:     packet.MaxHandoffDedupKeys,
+	}
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = d.MinSamples
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = d.Hysteresis
+	}
+	if c.OfferTimeout <= 0 {
+		c.OfferTimeout = d.OfferTimeout
+	}
+	if c.CommitTimeout <= 0 {
+		c.CommitTimeout = d.CommitTimeout
+	}
+	if c.MaxCommitRetries <= 0 {
+		c.MaxCommitRetries = d.MaxCommitRetries
+	}
+	if c.SwitchTimeout <= 0 {
+		c.SwitchTimeout = d.SwitchTimeout
+	}
+	if c.MaxStopRetries <= 0 {
+		c.MaxStopRetries = d.MaxStopRetries
+	}
+	if c.MaxDedupKeys <= 0 || c.MaxDedupKeys > packet.MaxHandoffDedupKeys {
+		c.MaxDedupKeys = packet.MaxHandoffDedupKeys
+	}
+	return c
+}
+
+// APAssignment places one AP of the city in a domain. The city table —
+// every AP, indexed by global ID — is shared by all domains, so each can
+// map any backhaul address to (domain, global ID).
+type APAssignment struct {
+	ID     int // global AP id (== index in the city table)
+	Domain int
+	IP     packet.IPv4Addr
+	MAC    packet.MACAddr
+}
+
+// Stats counts one domain's federation activity.
+type Stats struct {
+	OffersSent        uint64 // handoffs this domain offered away
+	OffersRecv        uint64 // offers received from peers
+	OffersRejected    uint64 // received offers this domain declined
+	Commits           uint64 // commits sent (ownership released)
+	Adoptions         uint64 // commits applied (ownership assumed)
+	Aborts            uint64 // handoffs abandoned (timeout, rejection, crash)
+	CrossSwitches     uint64 // completed cross-domain stop→start→acks
+	ForcedStarts      uint64 // cross-domain switches escalated to direct start
+	StopRetransmits   uint64
+	CommitRetransmits uint64
+	CSIRelays         uint64 // foreign-owned CSI reports relayed to their owner
+	UplinkRelays      uint64 // foreign-owned uplink relayed to their owner
+}
+
+// HandoffRecord is one cross-domain handoff event for the evaluation
+// timeline. The offering domain records the offer→commit transfer; the
+// adopting domain records the switch it then drove.
+type HandoffRecord struct {
+	At       sim.Time
+	Client   packet.MACAddr
+	From, To int // domain ids
+	FromAP   int // global AP ids
+	ToAP     int
+	// OfferToCommit is the transfer time (offering side; zero on adopting
+	// side records).
+	OfferToCommit sim.Time
+	// SwitchDuration is stop sent → ack received for the cross-domain
+	// switch (adopting side; zero on offering side records).
+	SwitchDuration sim.Time
+	// Forced marks a cross-domain switch completed via direct start.
+	Forced bool
+}
+
+// fedMetrics holds the domain's observability handles (all nil-safe).
+type fedMetrics struct {
+	offers       *metrics.Counter
+	commits      *metrics.Counter
+	aborts       *metrics.Counter
+	csiRelays    *metrics.Counter
+	uplinkRelays *metrics.Counter
+	handoffSpans *metrics.SpanTracker
+	switchSpans  *metrics.SpanTracker
+}
+
+// UseMetrics wires the domain's instruments into r (nil disables).
+func (d *Domain) UseMetrics(r *metrics.Registry) {
+	d.met = fedMetrics{
+		offers:       r.Counter("federation", "handoff_offers"),
+		commits:      r.Counter("federation", "handoff_commits"),
+		aborts:       r.Counter("federation", "handoff_aborts"),
+		csiRelays:    r.Counter("federation", "csi_relays"),
+		uplinkRelays: r.Counter("federation", "uplink_relays"),
+		handoffSpans: r.HandoffSpans(),
+		switchSpans:  r.SwitchSpans(),
+	}
+}
+
+// fedClient is the federation-layer state of a client this domain owns.
+type fedClient struct {
+	mac packet.MACAddr
+	ip  packet.IPv4Addr
+	// foreign holds per-foreign-AP evidence windows; foreignOrder lists
+	// their keys in first-heard order (deterministic iteration).
+	foreign      map[packet.IPv4Addr]*evWindow
+	foreignOrder []packet.IPv4Addr
+	lastHandoff  sim.Time
+	out          *outHandoff // in-flight outgoing offer, nil when idle
+}
+
+// outHandoff is one offered-away handoff awaiting accept.
+type outHandoff struct {
+	id        uint32
+	peer      int // target domain
+	target    packet.IPv4Addr
+	offeredAt sim.Time
+	timer     runtime.Timer
+}
+
+// release is a committed transfer awaiting the adopter's announcement echo.
+type release struct {
+	id      uint32
+	mac     packet.MACAddr
+	peer    int
+	commit  *packet.DomainHandoffCommit
+	retries int
+	timer   runtime.Timer
+}
+
+// adoption is one incoming handoff: accepted (awaiting commit) or adopted
+// (driving the cross-domain switch).
+type adoption struct {
+	id          uint32
+	client      packet.MACAddr
+	ip          packet.IPv4Addr
+	fromDomain  int
+	oldAP       packet.IPv4Addr // foreign AP to stop
+	target      packet.IPv4Addr // local AP taking over
+	targetLocal int
+	adopted     bool
+	forced      bool
+	stopSentAt  sim.Time
+	attempts    int
+	timer       runtime.Timer
+}
+
+// Domain is one federation controller instance: an inner
+// controller.Controller owning a contiguous set of APs, plus the handoff
+// state machines that move clients between domains.
+type Domain struct {
+	cfg  Config
+	id   int
+	addr packet.IPv4Addr
+	clk  runtime.Clock
+	bh   backhaul.Fabric
+	ctl  *controller.Controller
+
+	city     []APAssignment
+	local    []controller.APInfo     // this domain's APs; local id = index
+	globalOf []int                   // local id → global id
+	localOf  map[packet.IPv4Addr]int // own-domain AP IP → local id
+	apDomain map[packet.IPv4Addr]int // any AP IP → domain
+	apGlobal map[packet.IPv4Addr]int // any AP IP → global id
+	domains  []int                   // sorted domain ids present in the city
+	ctlAddr  map[packet.IPv4Addr]int // controller addr → domain id
+
+	// owner is this domain's view of the client→domain directory; owned
+	// holds federation state for the clients it owns itself.
+	owner map[packet.MACAddr]int
+	owned map[packet.MACAddr]*fedClient
+
+	released   map[uint32]*release
+	inbound    map[uint32]*adoption
+	byClient   map[packet.MACAddr]*adoption
+	adoptedIDs map[uint32]bool // commits already applied (retransmit dedup)
+
+	// pendingDown buffers downlink routed here between the owner's release
+	// and the commit's arrival; drained in order at adoption.
+	pendingDown map[packet.MACAddr][]*packet.Packet
+
+	handoffSeq uint32
+	// csiScratch is the reusable subcarrier unpack buffer (single protocol
+	// goroutine, same pattern as the inner controller's).
+	csiScratch []float64
+
+	// OnSwitch observes every completed switch in this domain — inner
+	// switches re-addressed to global AP ids, plus the cross-domain ones the
+	// federation layer drives itself.
+	OnSwitch func(rec controller.SwitchRecord)
+	// OnRelease observes ownership leaving this domain (commit sent); the
+	// Tier uses it to flip sim-side downlink routing.
+	OnRelease func(mac packet.MACAddr, to int)
+	// OnHandoffComplete observes each cross-domain switch completion on the
+	// adopting side.
+	OnHandoffComplete func(rec HandoffRecord)
+
+	Stats Stats
+	// Offered and Adopted are the two halves of the handoff timeline: what
+	// this domain handed away, and what it took over.
+	Offered []HandoffRecord
+	Adopted []HandoffRecord
+
+	met fedMetrics
+}
+
+// NewDomain builds the controller for domain id over the given city table
+// and attaches it (wrapping its inner controller) to the backhaul at
+// packet.DomainControllerIP(id).
+func NewDomain(cfg Config, clk runtime.Clock, bh backhaul.Fabric, id int, city []APAssignment) *Domain {
+	cfg = cfg.withDefaults()
+	d := &Domain{
+		cfg:         cfg,
+		id:          id,
+		addr:        packet.DomainControllerIP(id),
+		clk:         clk,
+		bh:          bh,
+		city:        city,
+		localOf:     make(map[packet.IPv4Addr]int),
+		apDomain:    make(map[packet.IPv4Addr]int, len(city)),
+		apGlobal:    make(map[packet.IPv4Addr]int, len(city)),
+		ctlAddr:     make(map[packet.IPv4Addr]int),
+		owner:       make(map[packet.MACAddr]int),
+		owned:       make(map[packet.MACAddr]*fedClient),
+		released:    make(map[uint32]*release),
+		inbound:     make(map[uint32]*adoption),
+		byClient:    make(map[packet.MACAddr]*adoption),
+		adoptedIDs:  make(map[uint32]bool),
+		pendingDown: make(map[packet.MACAddr][]*packet.Packet),
+		handoffSeq:  handoffIDBase(id),
+	}
+	seen := map[int]bool{}
+	for _, a := range city {
+		d.apDomain[a.IP] = a.Domain
+		d.apGlobal[a.IP] = a.ID
+		if !seen[a.Domain] {
+			seen[a.Domain] = true
+			d.domains = append(d.domains, a.Domain)
+			d.ctlAddr[packet.DomainControllerIP(a.Domain)] = a.Domain
+		}
+		if a.Domain == id {
+			li := len(d.local)
+			d.local = append(d.local, controller.APInfo{ID: li, IP: a.IP, MAC: a.MAC})
+			d.localOf[a.IP] = li
+			d.globalOf = append(d.globalOf, a.ID)
+		}
+	}
+	sortInts(d.domains)
+	ctlCfg := cfg.Controller
+	ctlCfg.Addr = d.addr
+	ctlCfg.SwitchIDBase = switchIDBase(id)
+	d.ctl = controller.New(ctlCfg, clk, bh, d.local)
+	d.ctl.OnSwitch = func(rec controller.SwitchRecord) {
+		rec.From = d.globalOf[rec.From]
+		rec.To = d.globalOf[rec.To]
+		if d.OnSwitch != nil {
+			d.OnSwitch(rec)
+		}
+	}
+	// The inner controller attached itself at d.addr; wrap it.
+	bh.Attach(d.addr, d)
+	return d
+}
+
+// switchIDBase spreads the inner controllers' switch/recovery ID sequences
+// so domains sharing a backhaul and metrics registry never collide;
+// handoffIDBase sets bit 23 so federation-driven switch IDs live in their
+// own half of each domain's block.
+func switchIDBase(id int) uint32  { return uint32(id) << 24 }
+func handoffIDBase(id int) uint32 { return uint32(id)<<24 | 1<<23 }
+
+// ID returns the domain id.
+func (d *Domain) ID() int { return d.id }
+
+// Addr returns the domain controller's backhaul address.
+func (d *Domain) Addr() packet.IPv4Addr { return d.addr }
+
+// Controller exposes the inner controller (stats, evaluation hooks).
+func (d *Domain) Controller() *controller.Controller { return d.ctl }
+
+// addrOf returns the controller address of a domain.
+func (d *Domain) addrOf(dom int) packet.IPv4Addr { return packet.DomainControllerIP(dom) }
+
+// RegisterClient installs a client owned by this domain, serving from the
+// given global AP (which must lie in this domain).
+func (d *Domain) RegisterClient(mac packet.MACAddr, ip packet.IPv4Addr, servingGlobal int) error {
+	a := d.city[servingGlobal]
+	li, ok := d.localOf[a.IP]
+	if !ok {
+		return fmt.Errorf("federation: AP %d is not in domain %d", servingGlobal, d.id)
+	}
+	d.ctl.RegisterClient(mac, ip, li)
+	d.owner[mac] = d.id
+	d.owned[mac] = &fedClient{mac: mac, ip: ip, foreign: make(map[packet.IPv4Addr]*evWindow)}
+	return nil
+}
+
+// RegisterRemoteClient records a client owned by another domain, so this
+// domain relays its CSI and uplink to the owner instead of acting on them.
+func (d *Domain) RegisterRemoteClient(mac packet.MACAddr, owner int) {
+	d.owner[mac] = owner
+}
+
+// Owns reports whether this domain currently owns the client.
+func (d *Domain) Owns(mac packet.MACAddr) bool { return d.owner[mac] == d.id && d.owned[mac] != nil }
+
+// ServingGlobalAP returns the global id of the AP serving the client, or
+// -1. During an incoming handoff (accepted, commit not yet applied) it
+// reports the old domain's serving AP from the offer.
+func (d *Domain) ServingGlobalAP(mac packet.MACAddr) int {
+	if d.Owns(mac) {
+		if s := d.ctl.ServingAP(mac); s >= 0 && s < len(d.globalOf) {
+			return d.globalOf[s]
+		}
+		return -1
+	}
+	if ad := d.byClient[mac]; ad != nil && !ad.adopted {
+		if g, ok := d.apGlobal[ad.oldAP]; ok {
+			return g
+		}
+	}
+	return -1
+}
+
+// SendDownlink accepts one downlink packet for a client. Owned clients go
+// to the inner controller (which assigns the 12-bit index and fans out);
+// packets for a client whose adoption is still in flight are buffered and
+// drained, in order, the moment the commit lands — that buffering is what
+// closes the re-association gap. Packets for clients owned elsewhere are
+// forwarded to the owner over the backhaul.
+func (d *Domain) SendDownlink(p *packet.Packet) error {
+	if d.Owns(p.ClientMAC) {
+		return d.ctl.SendDownlink(p)
+	}
+	own, known := d.owner[p.ClientMAC]
+	if !known {
+		return fmt.Errorf("federation: unknown client %v", p.ClientMAC)
+	}
+	if own == d.id || d.byClient[p.ClientMAC] != nil {
+		// Ours-to-be: a commit naming us is in flight. Hold the packet.
+		d.pendingDown[p.ClientMAC] = append(d.pendingDown[p.ClientMAC], p)
+		return nil
+	}
+	return d.bh.Send(d.addr, d.addrOf(own), &packet.DownData{APDst: d.addrOf(own), Pkt: p})
+}
+
+// HandleBackhaul implements backhaul.Node: federation traffic is handled
+// here, everything else forwards to the inner controller.
+func (d *Domain) HandleBackhaul(from packet.IPv4Addr, msg packet.Message) {
+	if d.ctl.Down() {
+		return // a crashed controller hears nothing, its federation half included
+	}
+	switch m := msg.(type) {
+	case *packet.CSIReport:
+		d.handleCSI(from, m)
+	case *packet.UpData:
+		d.handleUplink(from, m)
+	case *packet.DownData:
+		// Downlink forwarded controller→controller for a client that moved.
+		d.routeForwardedDown(m)
+	case *packet.AssocSync:
+		if own, known := d.owner[m.Client]; known && own != d.id {
+			return // replicated association of a foreign-owned client
+		}
+		d.ctl.HandleBackhaul(from, msg)
+		if _, known := d.owner[m.Client]; !known {
+			d.owner[m.Client] = d.id
+			d.owned[m.Client] = &fedClient{mac: m.Client, ip: m.ClientIP, foreign: make(map[packet.IPv4Addr]*evWindow)}
+		}
+	case *packet.DomainHandoffOffer:
+		d.handleOffer(from, m)
+	case *packet.DomainHandoffAccept:
+		d.handleAccept(m)
+	case *packet.DomainHandoffCommit:
+		d.handleCommit(m)
+	case *packet.SwitchAck:
+		if d.completeCrossSwitch(m) {
+			return
+		}
+		d.ctl.HandleBackhaul(from, msg)
+	default:
+		d.ctl.HandleBackhaul(from, msg)
+	}
+}
+
+// routeForwardedDown re-routes a controller-forwarded downlink packet.
+func (d *Domain) routeForwardedDown(m *packet.DownData) {
+	_ = d.SendDownlink(m.Pkt)
+}
+
+// handleCSI routes one CSI report: own client + own AP → inner controller;
+// own client + foreign AP → handoff evidence; foreign client → relay to its
+// owner.
+func (d *Domain) handleCSI(from packet.IPv4Addr, m *packet.CSIReport) {
+	apDom, knownAP := d.apDomain[m.AP]
+	if !knownAP {
+		return
+	}
+	own, known := d.owner[m.Client]
+	if !known {
+		return
+	}
+	if own == d.id {
+		fc := d.owned[m.Client]
+		if fc == nil {
+			return
+		}
+		if apDom == d.id {
+			d.ctl.HandleBackhaul(from, m)
+			return
+		}
+		d.ingestForeign(fc, m)
+		return
+	}
+	if from == d.addrOf(own) {
+		return // stale-directory loop guard: never bounce back to the sender
+	}
+	d.Stats.CSIRelays++
+	d.met.csiRelays.Inc()
+	_ = d.bh.Send(d.addr, d.addrOf(own), m)
+}
+
+// handleUplink forwards own-client (and unknown-client) uplink to the inner
+// controller's dedup path, and relays foreign-owned uplink to the owner.
+func (d *Domain) handleUplink(from packet.IPv4Addr, m *packet.UpData) {
+	own, known := d.owner[m.Pkt.ClientMAC]
+	if !known || own == d.id {
+		d.ctl.HandleBackhaul(from, m)
+		return
+	}
+	if from == d.addrOf(own) {
+		return
+	}
+	d.Stats.UplinkRelays++
+	d.met.uplinkRelays.Inc()
+	_ = d.bh.Send(d.addr, d.addrOf(own), m)
+}
+
+// sortInts sorts a small int slice ascending (insertion sort — the domain
+// list is a handful of entries).
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

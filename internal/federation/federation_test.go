@@ -1,0 +1,415 @@
+package federation_test
+
+import (
+	"testing"
+
+	"wgtt/internal/backhaul"
+	"wgtt/internal/federation"
+	"wgtt/internal/metrics"
+	"wgtt/internal/packet"
+	wrt "wgtt/internal/runtime"
+	"wgtt/internal/sim"
+)
+
+// fedAP is a scripted AP for federation tests: it answers stops with a
+// start at the switch target and starts with an ack to ITS OWN domain
+// controller — the addressing property the cross-domain switch depends on.
+type fedAP struct {
+	bh     *backhaul.Switch
+	ip     packet.IPv4Addr
+	ctl    packet.IPv4Addr
+	stops  []*packet.Stop
+	starts []*packet.Start
+	downs  []*packet.DownData
+	cursor uint16
+	ack    bool // answer stops (false black-holes the switch at this AP)
+}
+
+func (f *fedAP) HandleBackhaul(from packet.IPv4Addr, msg packet.Message) {
+	switch m := msg.(type) {
+	case *packet.HealthProbe:
+		_ = f.bh.Send(f.ip, f.ctl, &packet.HealthAck{AP: f.ip, Seq: m.Seq, At: m.At})
+	case *packet.Stop:
+		f.stops = append(f.stops, m)
+		if f.ack {
+			_ = f.bh.Send(f.ip, m.NextAP, &packet.Start{Client: m.Client, Index: f.cursor, SwitchID: m.SwitchID})
+		}
+	case *packet.Start:
+		f.starts = append(f.starts, m)
+		f.cursor = m.Index
+		_ = f.bh.Send(f.ip, f.ctl, &packet.SwitchAck{Client: m.Client, AP: f.ip, SwitchID: m.SwitchID})
+	case *packet.DownData:
+		f.downs = append(f.downs, m)
+	}
+}
+
+// fedHarness assembles nDomains × apsPer domains over one virtual-clock
+// switch, with scripted APs wired to their domain controllers.
+type fedHarness struct {
+	t    *testing.T
+	eng  *sim.Engine
+	bh   *backhaul.Switch
+	city []federation.APAssignment
+	doms []*federation.Domain
+	tier *federation.Tier
+	aps  []*fedAP
+}
+
+func newFedHarness(t *testing.T, nDomains, apsPer int, cfg federation.Config) *fedHarness {
+	t.Helper()
+	eng := sim.NewEngine()
+	bh := backhaul.NewSwitch(eng, 200*sim.Microsecond)
+	h := &fedHarness{t: t, eng: eng, bh: bh}
+	for g := 0; g < nDomains*apsPer; g++ {
+		dom := g / apsPer
+		h.city = append(h.city, federation.APAssignment{
+			ID: g, Domain: dom, IP: packet.APIP(g), MAC: packet.APMAC(g),
+		})
+		ap := &fedAP{bh: bh, ip: packet.APIP(g), ctl: packet.DomainControllerIP(dom), ack: true}
+		h.aps = append(h.aps, ap)
+		bh.Attach(ap.ip, ap)
+	}
+	for d := 0; d < nDomains; d++ {
+		h.doms = append(h.doms, federation.NewDomain(cfg, wrt.Virtual(eng), bh, d, h.city))
+	}
+	h.tier = federation.NewTier(h.doms)
+	return h
+}
+
+// feedCSI delivers one CSI report from AP g to g's domain controller, as
+// the AP MAC-side would.
+func (h *fedHarness) feedCSI(client packet.MACAddr, g int, esnrDB float64) {
+	rep := &packet.CSIReport{Client: client, AP: packet.APIP(g), At: int64(h.eng.Now())}
+	snr := make([]float64, packet.CSISubcarriers)
+	for i := range snr {
+		snr[i] = esnrDB
+	}
+	rep.QuantizeSNR(snr)
+	_ = h.bh.Send(packet.APIP(g), packet.DomainControllerIP(h.city[g].Domain), rep)
+}
+
+func (h *fedHarness) run(d sim.Time) { h.eng.RunUntil(h.eng.Now() + d) }
+
+// quickConfig shrinks the dwell times so tests converge in simulated
+// milliseconds.
+func quickConfig() federation.Config {
+	cfg := federation.DefaultConfig()
+	cfg.Hysteresis = 15 * sim.Millisecond
+	cfg.Controller.Hysteresis = 20 * sim.Millisecond
+	return cfg
+}
+
+// A vehicle client crossing from domain 0's corridor into domain 1's must
+// be handed off: offer/accept/commit between the controllers, then a
+// cross-domain stop→start→ack driven by the adopter — with the downlink
+// index cursor and dedup window surviving the move.
+func TestCrossDomainHandoffCompletes(t *testing.T) {
+	h := newFedHarness(t, 2, 2, quickConfig())
+	client := packet.ClientMAC(1)
+	if err := h.tier.RegisterClient(client, packet.ClientIP(1), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-handoff traffic: 5 downlink packets advance domain 0's index
+	// cursor; one uplink packet charges the dedup window.
+	for i := 0; i < 5; i++ {
+		if err := h.tier.SendDownlink(&packet.Packet{ClientMAC: client, Bytes: 1400}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	up := &packet.Packet{ClientMAC: client, SrcIP: packet.ClientIP(1), IPID: 777, Uplink: true, Bytes: 200}
+	_ = h.bh.Send(packet.APIP(0), packet.DomainControllerIP(0), &packet.UpData{APSrc: packet.APIP(0), Pkt: up})
+	h.run(2 * sim.Millisecond)
+
+	// Drive across the boundary: AP0 (domain 0) fades, AP2 (domain 1)
+	// strengthens. AP2's reports reach controller 1, which relays them to
+	// the owner, controller 0 — the evidence that triggers the offer.
+	for i := 0; i < 80 && h.doms[1].Stats.CrossSwitches == 0; i++ {
+		h.feedCSI(client, 0, 6)
+		h.feedCSI(client, 2, 22)
+		h.run(2 * sim.Millisecond)
+	}
+
+	if h.tier.Owner(client) != 1 || !h.doms[1].Owns(client) {
+		t.Fatalf("owner = %d, want domain 1", h.tier.Owner(client))
+	}
+	d0, d1 := h.doms[0].Stats, h.doms[1].Stats
+	if d0.OffersSent != 1 || d0.Commits != 1 {
+		t.Errorf("domain 0 stats = %+v, want 1 offer, 1 commit", d0)
+	}
+	if d1.Adoptions != 1 || d1.CrossSwitches != 1 {
+		t.Errorf("domain 1 stats = %+v, want 1 adoption, 1 cross-switch", d1)
+	}
+	if got := h.tier.ServingAP(client); got != 2 {
+		t.Errorf("serving AP = %d, want global 2", got)
+	}
+	if len(h.aps[0].stops) == 0 {
+		t.Error("old domain's AP never received the cross-domain stop")
+	}
+	if len(h.aps[2].starts) == 0 {
+		t.Error("new domain's AP never received the start")
+	}
+	if len(h.doms[0].Offered) != 1 || len(h.doms[1].Adopted) != 1 {
+		t.Fatalf("handoff records: offered=%d adopted=%d", len(h.doms[0].Offered), len(h.doms[1].Adopted))
+	}
+	if rec := h.doms[1].Adopted[0]; rec.From != 0 || rec.To != 1 || rec.SwitchDuration <= 0 || rec.Forced {
+		t.Errorf("adopted record = %+v", rec)
+	}
+	if rec := h.doms[0].Offered[0]; rec.OfferToCommit <= 0 || rec.FromAP != 0 || rec.ToAP != 2 {
+		t.Errorf("offered record = %+v", rec)
+	}
+
+	// Index continuity: domain 1 continues the cursor at 5 — no reset, no
+	// re-association gap in the 12-bit sequence.
+	if idx := h.doms[1].Controller().NextDownIndex(client); idx != 5 {
+		t.Errorf("adopted index cursor = %d, want 5", idx)
+	}
+	if err := h.tier.SendDownlink(&packet.Packet{ClientMAC: client, Bytes: 1400}); err != nil {
+		t.Fatal(err)
+	}
+	h.run(2 * sim.Millisecond)
+	found := false
+	for _, ap := range h.aps[2:] { // domain 1's APs
+		for _, dd := range ap.downs {
+			if dd.Pkt.Index == 5 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("post-handoff downlink did not continue at index 5")
+	}
+
+	// Dedup continuity: replaying the pre-handoff uplink key at domain 1
+	// must be recognized as a duplicate, not delivered again.
+	_ = h.bh.Send(packet.APIP(2), packet.DomainControllerIP(1), &packet.UpData{APSrc: packet.APIP(2), Pkt: up})
+	h.run(2 * sim.Millisecond)
+	if dup := h.doms[1].Controller().Stats.UplinkDuplicate; dup != 1 {
+		t.Errorf("uplink duplicates after handoff = %d, want 1 (dedup window transferred)", dup)
+	}
+}
+
+// A handoff decision arriving while the inner controller has a switch in
+// flight (stop sent, start pending) must be deferred, and the client must
+// come out the other side unstranded: the intra-domain switch completes,
+// then the cross-domain handoff proceeds.
+func TestHandoffDeferredMidSwitch(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Controller.Hysteresis = 0
+	h := newFedHarness(t, 2, 2, cfg)
+	client := packet.ClientMAC(1)
+	if err := h.tier.RegisterClient(client, packet.ClientIP(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	h.aps[0].ack = false // strand the intra-domain switch AP0→AP1 in flight
+
+	// AP1 (same domain) looks better → controller 0 starts a switch that
+	// cannot complete; AP2 (domain 1) looks better still → the federation
+	// layer must hold its offer.
+	for i := 0; i < 10; i++ {
+		h.feedCSI(client, 0, 5)
+		h.feedCSI(client, 1, 15)
+		h.run(2 * sim.Millisecond)
+	}
+	if h.doms[0].Controller().Stats.SwitchesStarted != 1 {
+		t.Fatalf("setup: no intra-domain switch in flight")
+	}
+	for i := 0; i < 10; i++ {
+		h.feedCSI(client, 2, 25)
+		h.run(2 * sim.Millisecond)
+	}
+	if h.doms[0].Stats.OffersSent != 0 {
+		t.Fatalf("offer sent while a switch was in flight")
+	}
+
+	// Un-jam the old AP: the stop retransmission completes the inner
+	// switch, after which the still-superior foreign evidence may fire.
+	h.aps[0].ack = true
+	for i := 0; i < 100 && h.doms[1].Stats.CrossSwitches == 0; i++ {
+		h.feedCSI(client, 1, 15)
+		h.feedCSI(client, 2, 25)
+		h.run(2 * sim.Millisecond)
+	}
+
+	if h.doms[0].Controller().Stats.SwitchesDone != 1 {
+		t.Errorf("inner switch never completed: %+v", h.doms[0].Controller().Stats)
+	}
+	if h.doms[1].Stats.CrossSwitches != 1 {
+		t.Fatalf("cross-domain switch never completed: %+v", h.doms[1].Stats)
+	}
+	if !h.doms[1].Owns(client) || h.tier.ServingAP(client) != 2 {
+		t.Errorf("client stranded: owner=%d serving=%d", h.tier.Owner(client), h.tier.ServingAP(client))
+	}
+	// The client must not be left frozen: domain 1 can still switch it.
+	if h.doms[0].Controller().ServingAP(client) != -1 {
+		t.Error("old domain still holds client state after release")
+	}
+}
+
+// An offer toward a dead controller must abort on timeout and leave the
+// client owned, thawed, and switchable at home.
+func TestOfferTimeoutAborts(t *testing.T) {
+	h := newFedHarness(t, 2, 2, quickConfig())
+	client := packet.ClientMAC(1)
+	if err := h.tier.RegisterClient(client, packet.ClientIP(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	h.doms[1].Fail() // peer controller down: offers go unanswered
+
+	// With controller 1 dead the AP2 relay path is dead too, so deliver the
+	// foreign reports straight to the owner (exactly what the relay does).
+	for i := 0; i < 12; i++ {
+		h.feedCSI(client, 0, 6)
+		rep := &packet.CSIReport{Client: client, AP: packet.APIP(2), At: int64(h.eng.Now())}
+		snr := make([]float64, packet.CSISubcarriers)
+		for j := range snr {
+			snr[j] = 22
+		}
+		rep.QuantizeSNR(snr)
+		_ = h.bh.Send(packet.DomainControllerIP(1), packet.DomainControllerIP(0), rep)
+		h.run(2 * sim.Millisecond)
+	}
+	h.run(60 * sim.Millisecond) // past OfferTimeout
+
+	if h.doms[0].Stats.OffersSent == 0 {
+		t.Fatal("setup: no offer was ever sent")
+	}
+	if h.doms[0].Stats.Aborts == 0 {
+		t.Error("unanswered offer never aborted")
+	}
+	if !h.doms[0].Owns(client) || h.tier.Owner(client) != 0 {
+		t.Error("client lost its owner after an aborted offer")
+	}
+	// Thawed: the home controller can still run §3.1.1 switches (AP1 is
+	// local and better than AP0).
+	for i := 0; i < 60 && h.doms[0].Controller().Stats.SwitchesDone == 0; i++ {
+		h.feedCSI(client, 0, 6)
+		h.feedCSI(client, 1, 20)
+		h.run(2 * sim.Millisecond)
+	}
+	if h.doms[0].Controller().Stats.SwitchesDone == 0 {
+		t.Error("client left frozen after abort: home controller cannot switch it")
+	}
+}
+
+// The commit carries released state, so it must survive loss: drop the
+// first commit datagram and let the retransmission loop deliver it.
+func TestCommitRetransmitOnLoss(t *testing.T) {
+	h := newFedHarness(t, 2, 2, quickConfig())
+	client := packet.ClientMAC(1)
+	if err := h.tier.RegisterClient(client, packet.ClientIP(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	dropped := 0
+	h.bh.Drop = func(to packet.IPv4Addr, msg packet.Message) bool {
+		if c, ok := msg.(*packet.DomainHandoffCommit); ok && len(c.DedupKeys)+len(c.Evidence) > 0 && dropped == 0 {
+			dropped++ // lose only the first full commit, not the slim echoes
+			return true
+		}
+		return false
+	}
+	// Charge the dedup window so the full commit is distinguishable from
+	// the slim announcement.
+	up := &packet.Packet{ClientMAC: client, SrcIP: packet.ClientIP(1), IPID: 9, Uplink: true, Bytes: 100}
+	_ = h.bh.Send(packet.APIP(0), packet.DomainControllerIP(0), &packet.UpData{APSrc: packet.APIP(0), Pkt: up})
+
+	for i := 0; i < 120 && h.doms[1].Stats.CrossSwitches == 0; i++ {
+		h.feedCSI(client, 0, 6)
+		h.feedCSI(client, 2, 22)
+		h.run(2 * sim.Millisecond)
+	}
+
+	if dropped != 1 {
+		t.Fatalf("setup: commit was never dropped")
+	}
+	if h.doms[0].Stats.CommitRetransmits == 0 {
+		t.Error("lost commit was never retransmitted")
+	}
+	if h.doms[1].Stats.Adoptions != 1 || h.doms[1].Stats.CrossSwitches != 1 {
+		t.Fatalf("handoff never completed after commit loss: %+v", h.doms[1].Stats)
+	}
+	if !h.doms[1].Owns(client) {
+		t.Error("ownership did not transfer")
+	}
+}
+
+// If the old domain's AP never cooperates with the cross-domain stop, the
+// adopter must escalate to a direct start after MaxStopRetries.
+func TestCrossSwitchForcedStart(t *testing.T) {
+	cfg := quickConfig()
+	cfg.SwitchTimeout = 5 * sim.Millisecond
+	cfg.MaxStopRetries = 3
+	h := newFedHarness(t, 2, 2, cfg)
+	client := packet.ClientMAC(1)
+	if err := h.tier.RegisterClient(client, packet.ClientIP(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	h.aps[0].ack = false // the old AP ignores stops forever
+
+	for i := 0; i < 150 && h.doms[1].Stats.CrossSwitches == 0; i++ {
+		h.feedCSI(client, 0, 6)
+		h.feedCSI(client, 2, 22)
+		h.run(2 * sim.Millisecond)
+	}
+
+	st := h.doms[1].Stats
+	if st.CrossSwitches != 1 || st.ForcedStarts != 1 {
+		t.Fatalf("stats = %+v, want a forced cross-switch", st)
+	}
+	if len(h.doms[1].Adopted) != 1 || !h.doms[1].Adopted[0].Forced {
+		t.Error("adopted record not marked forced")
+	}
+	if h.tier.ServingAP(client) != 2 {
+		t.Errorf("serving = %d, want 2", h.tier.ServingAP(client))
+	}
+}
+
+// Handoff counters and spans must land in the metrics registry under the
+// federation component and the handoff tracker.
+func TestFederationMetrics(t *testing.T) {
+	h := newFedHarness(t, 2, 2, quickConfig())
+	reg := metrics.NewRegistry()
+	for _, d := range h.doms {
+		d.UseMetrics(reg)
+		d.Controller().UseMetrics(reg)
+	}
+	client := packet.ClientMAC(1)
+	if err := h.tier.RegisterClient(client, packet.ClientIP(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 80 && h.doms[1].Stats.CrossSwitches == 0; i++ {
+		h.feedCSI(client, 0, 6)
+		h.feedCSI(client, 2, 22)
+		h.run(2 * sim.Millisecond)
+	}
+	snap := reg.Snapshot()
+	get := func(name string) uint64 {
+		for _, c := range snap.Counters {
+			if c.Component == "federation" && c.Name == name {
+				return c.Value
+			}
+		}
+		return 0
+	}
+	if get("handoff_offers") != 1 || get("handoff_commits") != 1 {
+		t.Errorf("counters: offers=%d commits=%d, want 1/1", get("handoff_offers"), get("handoff_commits"))
+	}
+	var handoffSpans, fedSwitchSpans int
+	for _, sp := range snap.Spans {
+		if sp.Tracker == metrics.HandoffSpanTracker {
+			handoffSpans++
+			if !sp.Completed || sp.Cause != metrics.CauseDomainHandoff {
+				t.Errorf("handoff span = %+v", sp)
+			}
+		}
+		if sp.Tracker == "" && sp.Cause == metrics.CauseDomainHandoff {
+			fedSwitchSpans++
+			if !sp.Completed {
+				t.Errorf("fed switch span incomplete: %+v", sp)
+			}
+		}
+	}
+	if handoffSpans != 1 || fedSwitchSpans != 1 {
+		t.Errorf("spans: handoff=%d fed-switch=%d, want 1/1", handoffSpans, fedSwitchSpans)
+	}
+}

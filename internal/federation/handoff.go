@@ -1,0 +1,488 @@
+package federation
+
+import (
+	"math"
+
+	"wgtt/internal/controller"
+	"wgtt/internal/csi"
+	"wgtt/internal/metrics"
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+// This file is the inter-controller handoff protocol (DESIGN.md §13). Three
+// messages move a client between domains:
+//
+//	owner A                         adopter B
+//	  | ── DomainHandoffOffer ──────→ |   A's evidence says B's AP is best
+//	  | ←── DomainHandoffAccept ───── |   B pre-stages the adoption
+//	  | ── DomainHandoffCommit ──────→|   state bundle; A has released
+//	  |                               |   B adopts, then drives §3.1.2
+//	  | ←── slim Commit (announce) ── |   echo to A + directory update to all
+//
+// The commit is self-contained and authoritative: once A sends it, A has
+// released the client, so B applies any commit naming one of its APs even
+// if its accept state is gone. A retransmits the commit until B's
+// announcement echoes back; B deduplicates by handoff id.
+
+// ingestForeign folds one foreign-AP CSI report into the client's evidence
+// windows and re-evaluates the cross-domain handoff rule.
+func (d *Domain) ingestForeign(fc *fedClient, m *packet.CSIReport) {
+	w := fc.foreign[m.AP]
+	if w == nil {
+		w = &evWindow{span: d.cfg.Window}
+		fc.foreign[m.AP] = w
+		fc.foreignOrder = append(fc.foreignOrder, m.AP)
+	}
+	d.csiScratch = m.SNRdBInto(d.csiScratch)
+	now := d.clk.Now()
+	w.push(now, csi.ESNRdB(d.csiScratch, csi.DefaultESNRModulation))
+	d.maybeOffer(fc, now)
+}
+
+// maybeOffer runs the cross-domain counterpart of §3.1.1: offer the client
+// away when the best foreign windowed median beats the best local one by
+// MarginDB. Deliberately conservative — an offer is deferred while the
+// inner controller has a switch in flight (stop sent, start pending), while
+// a handoff is already outstanding, and inside the hysteresis dwell.
+func (d *Domain) maybeOffer(fc *fedClient, now sim.Time) {
+	if fc.out != nil || d.byClient[fc.mac] != nil {
+		return
+	}
+	if d.ctl.InFlightSwitch(fc.mac) {
+		return // let the intra-domain stop→start→ack finish first
+	}
+	if now-fc.lastHandoff < d.cfg.Hysteresis {
+		return
+	}
+	var bestAP packet.IPv4Addr
+	bestMed := math.Inf(-1)
+	for _, apIP := range fc.foreignOrder {
+		if med, n := fc.foreign[apIP].median(now); n >= d.cfg.MinSamples && med > bestMed {
+			bestMed, bestAP = med, apIP
+		}
+	}
+	if bestAP.IsZero() || bestMed < d.cfg.MinESNRdB {
+		return
+	}
+	serving := d.ctl.ServingAP(fc.mac)
+	if serving < 0 {
+		return
+	}
+	bestLocal := math.Inf(-1)
+	haveLocal := false
+	for li := range d.local {
+		if med, ok := d.ctl.MedianESNR(fc.mac, li); ok && med > bestLocal {
+			bestLocal, haveLocal = med, true
+		}
+	}
+	if haveLocal && bestMed < bestLocal+d.cfg.MarginDB {
+		return
+	}
+	if !haveLocal {
+		bestLocal = 0
+	}
+	d.handoffSeq++
+	id := d.handoffSeq
+	peer := d.apDomain[bestAP]
+	fc.out = &outHandoff{id: id, peer: peer, target: bestAP, offeredAt: now}
+	d.ctl.SetFrozen(fc.mac, true)
+	d.Stats.OffersSent++
+	d.met.offers.Inc()
+	d.met.handoffSpans.Begin(id, int64(now), fc.mac.String(),
+		d.globalOf[serving], d.apGlobal[bestAP], metrics.CauseDomainHandoff, bestLocal, bestMed)
+	_ = d.bh.Send(d.addr, d.addrOf(peer), &packet.DomainHandoffOffer{
+		HandoffID: id, Client: fc.mac, ClientIP: fc.ip,
+		ServingAP: d.local[serving].IP, TargetAP: bestAP, EvidenceQ: quantQ(bestMed),
+	})
+	fc.out.timer = d.clk.After(d.cfg.OfferTimeout, func() { d.offerTimeout(fc, id) })
+}
+
+// offerTimeout abandons an unanswered offer: the client stays owned, thaws,
+// and the hysteresis clock restarts so a dead peer is not hammered.
+func (d *Domain) offerTimeout(fc *fedClient, id uint32) {
+	if d.ctl.Down() || fc.out == nil || fc.out.id != id || d.owned[fc.mac] != fc {
+		return
+	}
+	fc.out = nil
+	fc.lastHandoff = d.clk.Now()
+	d.ctl.SetFrozen(fc.mac, false)
+	d.Stats.Aborts++
+	d.met.aborts.Inc()
+}
+
+// handleOffer is the adopter's half of the offer: validate that the target
+// AP is ours and the client state is clean, pre-stage the adoption (so
+// serving-AP queries and early downlink already resolve), and accept.
+func (d *Domain) handleOffer(from packet.IPv4Addr, m *packet.DomainHandoffOffer) {
+	d.Stats.OffersRecv++
+	reply := func(accept bool) {
+		if !accept {
+			d.Stats.OffersRejected++
+		}
+		_ = d.bh.Send(d.addr, from, &packet.DomainHandoffAccept{
+			HandoffID: m.HandoffID, Client: m.Client, Accept: accept,
+		})
+	}
+	tl, ok := d.localOf[m.TargetAP]
+	if !ok || d.Owns(m.Client) || d.adoptedIDs[m.HandoffID] {
+		reply(false)
+		return
+	}
+	fromDom, ok := d.ctlAddr[from]
+	if !ok {
+		reply(false)
+		return
+	}
+	if prev := d.byClient[m.Client]; prev != nil {
+		// Duplicate of the adoption already staged → re-accept idempotently;
+		// a competing handoff for the same client → decline.
+		reply(prev.id == m.HandoffID)
+		return
+	}
+	ad := &adoption{
+		id: m.HandoffID, client: m.Client, ip: m.ClientIP,
+		fromDomain: fromDom, oldAP: m.ServingAP, target: m.TargetAP, targetLocal: tl,
+	}
+	d.inbound[ad.id] = ad
+	d.byClient[ad.client] = ad
+	// Hold the pre-staged state long enough for the full commit-retransmit
+	// schedule; if no commit ever lands (the offerer died), drop it.
+	hold := d.cfg.CommitTimeout * sim.Time(d.cfg.MaxCommitRetries+2)
+	ad.timer = d.clk.After(hold, func() { d.acceptTimeout(ad) })
+	reply(true)
+}
+
+// acceptTimeout drops a pre-staged adoption whose commit never arrived.
+func (d *Domain) acceptTimeout(ad *adoption) {
+	if d.ctl.Down() || ad.adopted || d.inbound[ad.id] != ad {
+		return
+	}
+	delete(d.inbound, ad.id)
+	if d.byClient[ad.client] == ad {
+		delete(d.byClient, ad.client)
+	}
+	delete(d.pendingDown, ad.client)
+	d.Stats.Aborts++
+	d.met.aborts.Inc()
+}
+
+// handleAccept is the owner's half of the accept: on rejection, thaw and
+// back off; on acceptance, export the state bundle and release ownership.
+func (d *Domain) handleAccept(m *packet.DomainHandoffAccept) {
+	fc := d.owned[m.Client]
+	if fc == nil || fc.out == nil || fc.out.id != m.HandoffID {
+		return
+	}
+	out := fc.out
+	out.timer.Stop()
+	fc.out = nil
+	now := d.clk.Now()
+	fc.lastHandoff = now
+	if !m.Accept {
+		d.ctl.SetFrozen(m.Client, false)
+		d.Stats.Aborts++
+		d.met.aborts.Inc()
+		return
+	}
+	// The state bundle: downlink index cursor, dedup window, association,
+	// and the per-target-domain ESNR evidence (so the adopter's windows
+	// start warm instead of blind).
+	serving := d.ctl.ServingAP(m.Client)
+	var servingIP packet.IPv4Addr
+	servingGlobal := -1
+	if serving >= 0 {
+		servingIP = d.local[serving].IP
+		servingGlobal = d.globalOf[serving]
+	}
+	var ev []packet.APESNR
+	for _, apIP := range fc.foreignOrder {
+		if d.apDomain[apIP] != out.peer {
+			continue
+		}
+		if med, n := fc.foreign[apIP].median(now); n >= d.cfg.MinSamples {
+			ev = append(ev, packet.APESNR{AP: apIP, MedianQ: quantQ(med)})
+			if len(ev) == packet.MaxHandoffEvidence {
+				break
+			}
+		}
+	}
+	commit := &packet.DomainHandoffCommit{
+		HandoffID: out.id, Client: m.Client, ClientIP: fc.ip,
+		ServingAP: servingIP, TargetAP: out.target,
+		NextIndex: d.ctl.NextDownIndex(m.Client),
+		DedupKeys: d.ctl.DedupWindow(m.Client, d.cfg.MaxDedupKeys),
+		Evidence:  ev,
+	}
+	_ = d.bh.Send(d.addr, d.addrOf(out.peer), commit)
+	d.ctl.ReleaseClient(m.Client)
+	delete(d.owned, m.Client)
+	d.owner[m.Client] = out.peer
+	d.Stats.Commits++
+	d.met.commits.Inc()
+	d.met.handoffSpans.End(out.id, int64(now))
+	d.Offered = append(d.Offered, HandoffRecord{
+		At: now, Client: m.Client, From: d.id, To: out.peer,
+		FromAP: servingGlobal, ToAP: d.apGlobal[out.target],
+		OfferToCommit: now - out.offeredAt,
+	})
+	rel := &release{id: out.id, mac: m.Client, peer: out.peer, commit: commit}
+	d.released[rel.id] = rel
+	rel.timer = d.clk.After(d.cfg.CommitTimeout, func() { d.retryCommit(rel) })
+	if d.OnRelease != nil {
+		d.OnRelease(m.Client, out.peer)
+	}
+}
+
+// retryCommit retransmits an unacknowledged commit. The client is already
+// released — the commit MUST land, so it is the one federation message with
+// its own reliability loop (the offer may die silently; a commit may not).
+func (d *Domain) retryCommit(rel *release) {
+	if d.ctl.Down() || d.released[rel.id] != rel {
+		return
+	}
+	if rel.retries >= d.cfg.MaxCommitRetries {
+		delete(d.released, rel.id)
+		return
+	}
+	rel.retries++
+	d.Stats.CommitRetransmits++
+	_ = d.bh.Send(d.addr, d.addrOf(rel.peer), rel.commit)
+	rel.timer = d.clk.After(d.cfg.CommitTimeout, func() { d.retryCommit(rel) })
+}
+
+// handleCommit dispatches on whose domain the target AP is in: ours → adopt
+// the client; someone else's → it is the adopter's announcement (stop
+// retransmitting if it echoes one of our releases, and update the
+// directory either way).
+func (d *Domain) handleCommit(m *packet.DomainHandoffCommit) {
+	tgtDom, ok := d.apDomain[m.TargetAP]
+	if !ok {
+		return
+	}
+	if tgtDom != d.id {
+		if rel := d.released[m.HandoffID]; rel != nil {
+			rel.timer.Stop()
+			delete(d.released, rel.id)
+		}
+		if !d.Owns(m.Client) {
+			d.owner[m.Client] = tgtDom
+		}
+		return
+	}
+	if d.adoptedIDs[m.HandoffID] {
+		// Retransmitted commit: our announcement was lost — re-announce so
+		// the offerer stops, but never re-apply the bundle.
+		d.announce(m)
+		return
+	}
+	d.adopt(m)
+}
+
+// adopt applies a commit's state bundle: register the client frozen with
+// the exported index cursor and dedup window, warm its ESNR windows from
+// the evidence, drain any downlink buffered while the commit was in
+// flight, announce ownership, and drive the §3.1.2 switch that physically
+// moves the client onto our AP.
+func (d *Domain) adopt(m *packet.DomainHandoffCommit) {
+	tl, ok := d.localOf[m.TargetAP]
+	if !ok {
+		return
+	}
+	now := d.clk.Now()
+	mac := m.Client
+	ad := d.inbound[m.HandoffID]
+	if ad != nil {
+		ad.timer.Stop()
+	} else {
+		// Unsolicited commit: our accept state is gone (timeout, crash, or a
+		// lost offer exchange), but the offerer has already released — so
+		// the commit is authoritative and refusing it would strand the
+		// client with no owner at all.
+		ad = &adoption{id: m.HandoffID, client: mac, fromDomain: int(m.HandoffID >> 24)}
+		d.inbound[ad.id] = ad
+		d.byClient[mac] = ad
+	}
+	ad.ip = m.ClientIP
+	ad.oldAP = m.ServingAP
+	ad.target = m.TargetAP
+	ad.targetLocal = tl
+	ad.adopted = true
+	d.adoptedIDs[ad.id] = true
+
+	d.ctl.AdoptClient(mac, m.ClientIP, tl, m.NextIndex, m.DedupKeys)
+	for _, ev := range m.Evidence {
+		if li, ok := d.localOf[ev.AP]; ok {
+			d.ctl.SeedESNR(mac, li, dequantQ(ev.MedianQ))
+		}
+	}
+	d.owner[mac] = d.id
+	d.owned[mac] = &fedClient{
+		mac: mac, ip: m.ClientIP,
+		foreign: make(map[packet.IPv4Addr]*evWindow), lastHandoff: now,
+	}
+	d.Stats.Adoptions++
+	if q := d.pendingDown[mac]; len(q) > 0 {
+		delete(d.pendingDown, mac)
+		for _, p := range q {
+			_ = d.ctl.SendDownlink(p)
+		}
+	}
+	d.announce(m)
+
+	fromG := -1
+	if g, ok := d.apGlobal[ad.oldAP]; ok {
+		fromG = g
+	}
+	toMed := 0.0
+	if len(m.Evidence) > 0 {
+		toMed = dequantQ(m.Evidence[0].MedianQ)
+	}
+	d.met.switchSpans.Begin(ad.id, int64(now), mac.String(),
+		fromG, d.apGlobal[ad.target], metrics.CauseDomainHandoff, 0, toMed)
+	ad.stopSentAt = now
+	d.sendFedStop(ad)
+}
+
+// announce broadcasts a slim (bundle-free) copy of the commit to every
+// other domain: the echo that stops the offerer's retransmission, and the
+// directory update for third parties.
+func (d *Domain) announce(m *packet.DomainHandoffCommit) {
+	slim := &packet.DomainHandoffCommit{
+		HandoffID: m.HandoffID, Client: m.Client, ClientIP: m.ClientIP,
+		ServingAP: m.ServingAP, TargetAP: m.TargetAP, NextIndex: m.NextIndex,
+	}
+	for _, dom := range d.domains {
+		if dom == d.id {
+			continue
+		}
+		_ = d.bh.Send(d.addr, d.addrOf(dom), slim)
+	}
+}
+
+// sendFedStop drives the cross-domain stop→start→ack: stop(c) goes to the
+// old domain's AP, which hands its cursor to our target AP with start(c,k);
+// the target acks to us. After MaxStopRetries the old AP is presumed dead
+// (or unreachable across the backhaul) and we fall back to a direct start
+// — the same no-cooperation escalation as intra-domain failover.
+func (d *Domain) sendFedStop(ad *adoption) {
+	if _, known := d.apGlobal[ad.oldAP]; !known || ad.attempts >= d.cfg.MaxStopRetries {
+		d.sendFedStart(ad)
+		return
+	}
+	ad.attempts++
+	if ad.attempts > 1 {
+		d.Stats.StopRetransmits++
+		d.met.switchSpans.AddRetransmit(ad.id)
+	}
+	_ = d.bh.Send(d.addr, ad.oldAP, &packet.Stop{Client: ad.client, NextAP: ad.target, SwitchID: ad.id})
+	ad.timer = d.clk.After(d.cfg.SwitchTimeout, func() { d.fedSwitchTimeout(ad) })
+}
+
+// sendFedStart is the forced completion: install the adopted index cursor
+// at the target AP directly, abandoning the old AP's cooperation.
+func (d *Domain) sendFedStart(ad *adoption) {
+	if !ad.forced {
+		ad.forced = true
+		d.Stats.ForcedStarts++
+	}
+	_ = d.bh.Send(d.addr, ad.target, &packet.Start{
+		Client: ad.client, Index: d.ctl.NextDownIndex(ad.client), SwitchID: ad.id,
+	})
+	ad.timer = d.clk.After(d.cfg.SwitchTimeout, func() { d.fedSwitchTimeout(ad) })
+}
+
+func (d *Domain) fedSwitchTimeout(ad *adoption) {
+	if d.ctl.Down() || d.inbound[ad.id] != ad {
+		return
+	}
+	if ad.forced {
+		d.sendFedStart(ad)
+		return
+	}
+	d.sendFedStop(ad)
+}
+
+// completeCrossSwitch intercepts the SwitchAck of a federation-driven
+// switch, reporting whether it consumed the message.
+func (d *Domain) completeCrossSwitch(m *packet.SwitchAck) bool {
+	ad := d.inbound[m.SwitchID]
+	if ad == nil || !ad.adopted {
+		return false
+	}
+	if m.AP != ad.target {
+		return true // not the installing AP; swallow, keep waiting
+	}
+	ad.timer.Stop()
+	delete(d.inbound, ad.id)
+	if d.byClient[ad.client] == ad {
+		delete(d.byClient, ad.client)
+	}
+	now := d.clk.Now()
+	d.ctl.SetFrozen(ad.client, false)
+	d.Stats.CrossSwitches++
+	d.met.switchSpans.End(ad.id, int64(now))
+	fromG := -1
+	if g, ok := d.apGlobal[ad.oldAP]; ok {
+		fromG = g
+	}
+	toG := d.apGlobal[ad.target]
+	rec := HandoffRecord{
+		At: now, Client: ad.client, From: ad.fromDomain, To: d.id,
+		FromAP: fromG, ToAP: toG,
+		SwitchDuration: now - ad.stopSentAt, Forced: ad.forced,
+	}
+	d.Adopted = append(d.Adopted, rec)
+	if d.OnSwitch != nil {
+		d.OnSwitch(controller.SwitchRecord{
+			At: now, Client: ad.client, From: fromG, To: toG,
+			Duration: now - ad.stopSentAt, Attempts: ad.attempts, Forced: ad.forced,
+		})
+	}
+	if d.OnHandoffComplete != nil {
+		d.OnHandoffComplete(rec)
+	}
+	return true
+}
+
+// Fail implements chaos.ControllerTarget: the inner controller crashes and
+// every federation state machine dies with it. In-flight outgoing offers
+// and pre-staged adoptions abort; commit retransmission stops (the adopter
+// almost certainly has the client — its announcements go unheard until
+// recovery); adopted-but-unswitched clients thaw so the recovered
+// controller can drive its own switches again.
+func (d *Domain) Fail() {
+	if d.ctl.Down() {
+		return
+	}
+	d.ctl.Fail()
+	for _, fc := range d.owned {
+		if fc.out != nil {
+			fc.out.timer.Stop()
+			fc.out = nil
+			d.Stats.Aborts++
+		}
+		d.ctl.SetFrozen(fc.mac, false)
+	}
+	for _, rel := range d.released {
+		rel.timer.Stop()
+	}
+	d.released = make(map[uint32]*release)
+	for _, ad := range d.inbound {
+		ad.timer.Stop()
+		if ad.adopted {
+			d.ctl.SetFrozen(ad.client, false)
+		} else {
+			d.Stats.Aborts++
+		}
+	}
+	d.inbound = make(map[uint32]*adoption)
+	d.byClient = make(map[packet.MACAddr]*adoption)
+	d.pendingDown = make(map[packet.MACAddr][]*packet.Packet)
+}
+
+// Recover implements chaos.ControllerTarget.
+func (d *Domain) Recover() { d.ctl.Recover() }
+
+// Down implements chaos.ControllerTarget.
+func (d *Domain) Down() bool { return d.ctl.Down() }

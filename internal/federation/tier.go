@@ -1,0 +1,155 @@
+package federation
+
+import (
+	"fmt"
+
+	"wgtt/internal/controller"
+	"wgtt/internal/packet"
+)
+
+// Tier is the wired-side view of a federated city (DESIGN.md §13): it holds
+// every Domain and routes ingress — downlink packets, serving-AP queries —
+// to the client's current owner. In simulation it stands where a single
+// controller stood; in live mode each Domain is its own OS process and the
+// Tier is not used (real ingress routing is the commit-driven DownData
+// forwarding between controllers).
+type Tier struct {
+	Domains []*Domain
+
+	// owner mirrors the domains' directory for O(1) ingress routing; it
+	// flips at commit time via each Domain's OnRelease hook.
+	owner map[packet.MACAddr]int
+
+	// CrashTarget selects which domain a chaos ControllerCrash event hits
+	// (the fault model crashes one controller instance at a time).
+	CrashTarget int
+}
+
+// NewTier wires the domains together. Domain i must have ID i.
+func NewTier(domains []*Domain) *Tier {
+	t := &Tier{Domains: domains, owner: make(map[packet.MACAddr]int)}
+	for i, d := range domains {
+		if d.ID() != i {
+			panic(fmt.Sprintf("federation: domain %d at tier slot %d", d.ID(), i))
+		}
+		prev := d.OnRelease
+		d.OnRelease = func(mac packet.MACAddr, to int) {
+			t.owner[mac] = to
+			if prev != nil {
+				prev(mac, to)
+			}
+		}
+	}
+	return t
+}
+
+// RegisterClient registers a client with every domain: owned by the domain
+// holding its serving AP, remote everywhere else.
+func (t *Tier) RegisterClient(mac packet.MACAddr, ip packet.IPv4Addr, servingGlobal int) error {
+	if len(t.Domains) == 0 {
+		return fmt.Errorf("federation: empty tier")
+	}
+	city := t.Domains[0].city
+	if servingGlobal < 0 || servingGlobal >= len(city) {
+		return fmt.Errorf("federation: serving AP %d out of range", servingGlobal)
+	}
+	own := city[servingGlobal].Domain
+	for _, d := range t.Domains {
+		if d.ID() == own {
+			if err := d.RegisterClient(mac, ip, servingGlobal); err != nil {
+				return err
+			}
+		} else {
+			d.RegisterRemoteClient(mac, own)
+		}
+	}
+	t.owner[mac] = own
+	return nil
+}
+
+// SendDownlink hands one wired-side packet to the client's owning domain.
+// During the ownership flip the packet lands on the adopting domain, which
+// buffers it until the commit applies — no re-association gap.
+func (t *Tier) SendDownlink(p *packet.Packet) error {
+	own, ok := t.owner[p.ClientMAC]
+	if !ok {
+		return fmt.Errorf("federation: unknown client %v", p.ClientMAC)
+	}
+	return t.Domains[own].SendDownlink(p)
+}
+
+// ServingAP returns the global id of the AP serving the client, or -1,
+// consulting the owner first and then any domain with a pre-staged view.
+func (t *Tier) ServingAP(mac packet.MACAddr) int {
+	if own, ok := t.owner[mac]; ok {
+		if g := t.Domains[own].ServingGlobalAP(mac); g >= 0 {
+			return g
+		}
+	}
+	for _, d := range t.Domains {
+		if g := d.ServingGlobalAP(mac); g >= 0 {
+			return g
+		}
+	}
+	return -1
+}
+
+// Owner returns the client's current owning domain (-1 if unknown).
+func (t *Tier) Owner(mac packet.MACAddr) int {
+	if own, ok := t.owner[mac]; ok {
+		return own
+	}
+	return -1
+}
+
+// TierStats aggregates the whole tier.
+type TierStats struct {
+	Fed Stats
+	Ctl controller.Stats
+}
+
+// Stats sums federation and inner-controller counters across domains.
+func (t *Tier) Stats() TierStats {
+	var ts TierStats
+	for _, d := range t.Domains {
+		f := d.Stats
+		ts.Fed.OffersSent += f.OffersSent
+		ts.Fed.OffersRecv += f.OffersRecv
+		ts.Fed.OffersRejected += f.OffersRejected
+		ts.Fed.Commits += f.Commits
+		ts.Fed.Adoptions += f.Adoptions
+		ts.Fed.Aborts += f.Aborts
+		ts.Fed.CrossSwitches += f.CrossSwitches
+		ts.Fed.ForcedStarts += f.ForcedStarts
+		ts.Fed.StopRetransmits += f.StopRetransmits
+		ts.Fed.CommitRetransmits += f.CommitRetransmits
+		ts.Fed.CSIRelays += f.CSIRelays
+		ts.Fed.UplinkRelays += f.UplinkRelays
+
+		c := d.Controller().Stats
+		ts.Ctl.CSIReports += c.CSIReports
+		ts.Ctl.SwitchesStarted += c.SwitchesStarted
+		ts.Ctl.SwitchesDone += c.SwitchesDone
+		ts.Ctl.StopRetransmits += c.StopRetransmits
+		ts.Ctl.UplinkUnique += c.UplinkUnique
+		ts.Ctl.UplinkDuplicate += c.UplinkDuplicate
+		ts.Ctl.DownlinkSent += c.DownlinkSent
+		ts.Ctl.DownlinkCopies += c.DownlinkCopies
+		ts.Ctl.HealthProbes += c.HealthProbes
+		ts.Ctl.APsMarkedDead += c.APsMarkedDead
+		ts.Ctl.APsReadmitted += c.APsReadmitted
+		ts.Ctl.ForcedSwitches += c.ForcedSwitches
+		ts.Ctl.ForcedStartRetransmits += c.ForcedStartRetransmits
+		ts.Ctl.CtlDownlinkDropped += c.CtlDownlinkDropped
+	}
+	return ts
+}
+
+// Fail implements chaos.ControllerTarget against the CrashTarget domain.
+func (t *Tier) Fail() { t.Domains[t.CrashTarget].Fail() }
+
+// Recover implements chaos.ControllerTarget.
+func (t *Tier) Recover() { t.Domains[t.CrashTarget].Recover() }
+
+// Down implements chaos.ControllerTarget.
+func (t *Tier) Down() bool { return t.Domains[t.CrashTarget].Down() }

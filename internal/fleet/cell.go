@@ -51,6 +51,14 @@ type CellResult struct {
 	// contract's byte-identical output is unaffected.
 	Metrics *metrics.Snapshot
 
+	// Federation outcomes, populated only when cfg.Domains > 1
+	// (DESIGN.md §13): inter-controller handoff activity as vehicles cross
+	// domain boundaries inside the cell.
+	HandoffOffers  uint64
+	DomainHandoffs uint64
+	HandoffAborts  uint64
+	CrossSwitches  uint64
+
 	// Fault-injection outcomes, populated only when cfg.Chaos is set
 	// (DESIGN.md §11). Chaos is what the injector did; the rest is how the
 	// controller's failure recovery responded.
@@ -76,6 +84,7 @@ func RunCell(cfg Config, cell int) (CellResult, error) {
 		Seed:        plan.Seed,
 		Duration:    plan.Duration,
 		APPositions: positions,
+		Domains:     cfg.Domains,
 		Chaos:       cfg.Chaos,
 	}
 	for _, v := range plan.Vehicles {
@@ -187,13 +196,20 @@ func RunCell(cfg Config, cell int) (CellResult, error) {
 		res.AccuracyPct = 100 * float64(match) / float64(total)
 	}
 
-	st := n.Ctl.Stats
+	st := n.CtlStats()
 	res.Switches = st.SwitchesDone
 	res.StopRetransmits = st.StopRetransmits
 	res.CSIReports = st.CSIReports
 	res.UplinkUnique = st.UplinkUnique
 	res.UplinkDuplicate = st.UplinkDuplicate
 	res.AirtimePct = 100 * n.Medium.Utilization()
+	if cfg.Domains > 1 {
+		fs := n.FedStats()
+		res.HandoffOffers = fs.OffersSent
+		res.DomainHandoffs = fs.Adoptions
+		res.HandoffAborts = fs.Aborts
+		res.CrossSwitches = fs.CrossSwitches
+	}
 	if n.Chaos != nil {
 		cs := n.Chaos.Stats
 		res.APCrashes = cs.APCrashes

@@ -73,6 +73,14 @@ type Config struct {
 	// unchanged, preserving the byte-identical determinism contract.
 	Metrics bool
 
+	// Domains shards each cell's controller tier (DESIGN.md §13): the
+	// cell's APs split into this many contiguous domains, each run by its
+	// own controller instance, and vehicles are handed off between
+	// controllers as they drive across domain boundaries. 0 or 1 keeps the
+	// single-controller cell. Federation keeps the determinism contract:
+	// reports are byte-identical for any worker count.
+	Domains int
+
 	// Chaos injects deterministic faults into every cell (DESIGN.md §11).
 	// Each cell derives its own fault plan from its (fleet seed, cell
 	// index)-derived scenario seed, so chaos keeps the determinism

@@ -171,6 +171,57 @@ func TestFleetChaosDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestFleetFederationDeterministicAcrossWorkers is the DESIGN.md §13 fleet
+// acceptance check: with each cell's controller tier sharded into two
+// domains, vehicles complete cross-domain handoffs, and reports stay
+// byte-identical across worker counts.
+func TestFleetFederationDeterministicAcrossWorkers(t *testing.T) {
+	withDomains := func(workers int) Config {
+		cfg := testConfig(workers)
+		cfg.Domains = 2
+		return cfg
+	}
+
+	base, err := Run(withDomains(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.Render()
+	if !strings.Contains(want, "Federation (2 domains") {
+		t.Fatal("federated report lacks the federation section")
+	}
+	var offers, cross uint64
+	for _, c := range base.Cells {
+		offers += c.HandoffOffers
+		cross += c.CrossSwitches
+	}
+	if offers == 0 {
+		t.Error("no inter-controller handoff offers anywhere in the federated fleet")
+	}
+	if cross == 0 {
+		t.Error("no cross-domain switches completed anywhere in the federated fleet")
+	}
+
+	for _, workers := range []int{4, 8} {
+		res, err := Run(withDomains(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Render(); got != want {
+			t.Fatalf("federated reports differ across worker counts:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s", want, workers, got)
+		}
+	}
+
+	// Single-controller reports must not grow the section.
+	plain, err := Run(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.Render(), "Federation (") {
+		t.Error("federation section rendered without domains configured")
+	}
+}
+
 func TestCellTraceRoundTrip(t *testing.T) {
 	cfg := testConfig(1)
 	cfg.Cells = 1

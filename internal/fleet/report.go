@@ -124,6 +124,32 @@ func (r *Result) Render() string {
 	row("udp loss fraction", udpLoss)
 	b.WriteString(d.String())
 
+	// Federation section, present only for sharded controller tiers so
+	// single-controller reports stay byte-identical to their pre-federation
+	// form.
+	if r.Cfg.Domains > 1 {
+		var offers, handoffs, aborts, cross uint64
+		for i := range r.Cells {
+			c := &r.Cells[i]
+			offers += c.HandoffOffers
+			handoffs += c.DomainHandoffs
+			aborts += c.HandoffAborts
+			cross += c.CrossSwitches
+		}
+		fmt.Fprintf(&b, "\nFederation (%d domains per cell, DESIGN.md §13)\n", r.Cfg.Domains)
+		fmt.Fprintf(&b, "handoff offers %d  adoptions %d  aborts %d  cross-domain switches %d\n",
+			offers, handoffs, aborts, cross)
+		ft := &stats.Table{Header: []string{
+			"cell", "offers", "adoptions", "aborts", "cross-switch"}}
+		for i := range r.Cells {
+			c := &r.Cells[i]
+			ft.AddRow(fmt.Sprintf("%d", c.Cell), fmt.Sprintf("%d", c.HandoffOffers),
+				fmt.Sprintf("%d", c.DomainHandoffs), fmt.Sprintf("%d", c.HandoffAborts),
+				fmt.Sprintf("%d", c.CrossSwitches))
+		}
+		b.WriteString(ft.String())
+	}
+
 	// Resilience section, present only under fault injection so chaos-free
 	// reports stay byte-identical to their pre-chaos form.
 	if r.Cfg.Chaos != nil {

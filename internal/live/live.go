@@ -22,6 +22,7 @@ import (
 	"wgtt/internal/ap"
 	"wgtt/internal/backhaul/udp"
 	"wgtt/internal/controller"
+	"wgtt/internal/federation"
 	"wgtt/internal/packet"
 	"wgtt/internal/runtime"
 	"wgtt/internal/sim"
@@ -130,15 +131,17 @@ func RunController(conn *net.UDPConn, table map[packet.IPv4Addr]string, numAPs i
 
 // RunAP drives AP node id: the AP protocol core (stop/start handling, ack
 // emission) plus the scripted CSI source, for the given duration. serving
-// marks the AP the client is associated with at t = 0.
-func RunAP(id int, conn *net.UDPConn, table map[packet.IPv4Addr]string, script CSIScript, serving bool, duration sim.Time) (ap.Stats, error) {
+// marks the AP the client is associated with at t = 0; ctlAddr is the AP's
+// controller — packet.ControllerIP in the single-controller topology, the
+// AP's own domain controller in the federated one.
+func RunAP(id int, conn *net.UDPConn, table map[packet.IPv4Addr]string, ctlAddr packet.IPv4Addr, script CSIScript, serving bool, duration sim.Time) (ap.Stats, error) {
 	clk := runtime.NewWall()
 	fab, err := udp.New(clk, conn, table)
 	if err != nil {
 		return ap.Stats{}, err
 	}
 	cfg := APConfig(id)
-	node := ap.New(cfg, clk, fab, nil, packet.ControllerIP, rand.New(rand.NewPCG(uint64(id), 0)))
+	node := ap.New(cfg, clk, fab, nil, ctlAddr, rand.New(rand.NewPCG(uint64(id), 0)))
 	node.Associate(Client, ClientIP, serving)
 
 	period := script.Period
@@ -155,7 +158,7 @@ func RunAP(id int, conn *net.UDPConn, table map[packet.IPv4Addr]string, script C
 			snr[i] = db
 		}
 		rep.QuantizeSNR(snr)
-		_ = fab.Send(cfg.IP, packet.ControllerIP, rep)
+		_ = fab.Send(cfg.IP, ctlAddr, rep)
 		clk.After(period, tick)
 	}
 	clk.After(period, tick)
@@ -164,4 +167,89 @@ func RunAP(id int, conn *net.UDPConn, table map[packet.IPv4Addr]string, script C
 	clk.Run()
 	_ = fab.Close()
 	return node.Stats, nil
+}
+
+// FedDomains is the federated live topology size: two single-AP domains,
+// each with its own controller process — the smallest city that exercises
+// an inter-controller handoff (DESIGN.md §13).
+const FedDomains = 2
+
+// FedTable maps the federated topology onto UDP endpoints: entry d
+// (d < FedDomains) is domain d's controller, entry FedDomains+i is AP i.
+func FedTable(endpoints []string) map[packet.IPv4Addr]string {
+	t := make(map[packet.IPv4Addr]string, len(endpoints))
+	for i, ep := range endpoints {
+		if i < FedDomains {
+			t[packet.DomainControllerIP(i)] = ep
+		} else {
+			t[packet.APIP(i-FedDomains)] = ep
+		}
+	}
+	return t
+}
+
+// FedCity is the federated live city: AP i belongs to domain i.
+func FedCity() []federation.APAssignment {
+	city := make([]federation.APAssignment, FedDomains)
+	for i := range city {
+		city[i] = federation.APAssignment{ID: i, Domain: i, IP: packet.APIP(i), MAC: packet.APMAC(i)}
+	}
+	return city
+}
+
+// FedConfig is the live federation operating point: the default handoff
+// parameters over the live controller config. The default 250 ms handoff
+// hysteresis sits past the scripted ramps' ≈300 ms offer-margin crossing,
+// so exactly one handoff fires.
+func FedConfig() federation.Config {
+	cfg := federation.DefaultConfig()
+	cfg.Controller = ControllerConfig()
+	return cfg
+}
+
+// RunFedController drives controller process domainID of the two-domain
+// live city. Domain 0 owns the client on AP 0; domain 1 owns AP 1 and
+// relays its CSI to the owner. When the crossing ramps push AP 1 past the
+// offer margin, domain 0 exports the client's state bundle over the wire
+// and domain 1 resumes the §3.1.2 stop→start→ack on its own domain. The
+// adopting domain returns (record, true) as soon as its cross-domain
+// switch completes; the offering domain runs to timeout and returns
+// (zero, false) — the orchestrator kills it once the adopter reports.
+func RunFedController(domainID int, conn *net.UDPConn, table map[packet.IPv4Addr]string, timeout sim.Time) (federation.HandoffRecord, bool, error) {
+	clk := runtime.NewWall()
+	fab, err := udp.New(clk, conn, table)
+	if err != nil {
+		return federation.HandoffRecord{}, false, err
+	}
+	dom := federation.NewDomain(FedConfig(), clk, fab, domainID, FedCity())
+	if domainID == 0 {
+		if err := dom.RegisterClient(Client, ClientIP, 0); err != nil {
+			return federation.HandoffRecord{}, false, err
+		}
+	} else {
+		dom.RegisterRemoteClient(Client, 0)
+	}
+
+	var (
+		mu  sync.Mutex
+		rec federation.HandoffRecord
+		got bool
+	)
+	dom.OnHandoffComplete = func(r federation.HandoffRecord) {
+		mu.Lock()
+		rec, got = r, true
+		mu.Unlock()
+		clk.Stop()
+	}
+	clk.After(timeout, clk.Stop)
+	fab.Start()
+	clk.Run()
+	_ = fab.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if domainID != 0 && !got {
+		return federation.HandoffRecord{}, false, fmt.Errorf("live: no inter-controller handoff completed within %v", timeout)
+	}
+	return rec, got, nil
 }

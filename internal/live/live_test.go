@@ -52,7 +52,7 @@ func TestThreeNodeSwitchOverLoopback(t *testing.T) {
 	for i := range apDone {
 		apDone[i] = make(chan apResult, 1)
 		go func(id int) {
-			st, err := RunAP(id, conns[id+1], tableFor(packet.APIP(id)), scripts[id], id == 0, 2*sim.Second)
+			st, err := RunAP(id, conns[id+1], tableFor(packet.APIP(id)), packet.ControllerIP, scripts[id], id == 0, 2*sim.Second)
 			apDone[id] <- apResult{st, err}
 		}(i)
 	}
@@ -88,6 +88,96 @@ func TestThreeNodeSwitchOverLoopback(t *testing.T) {
 		case 0:
 			if res.stats.StopsHandled == 0 {
 				t.Errorf("AP 0 handled no stop")
+			}
+		case 1:
+			if res.stats.StartsHandled == 0 {
+				t.Errorf("AP 1 handled no start")
+			}
+		}
+	}
+}
+
+// Four wall-clock nodes over UDP loopback — two single-AP domain
+// controllers plus their APs — must complete one inter-controller handoff
+// (DESIGN.md §13): domain 1's AP relays rising CSI to the owning domain 0,
+// domain 0 exports the client's state bundle over the wire, and domain 1
+// resumes the §3.1.2 stop→start→ack against the old domain's AP.
+func TestFourNodeFederatedHandoffOverLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time multi-node run")
+	}
+	conns := []*net.UDPConn{bind(t), bind(t), bind(t), bind(t)}
+	eps := make([]string, len(conns))
+	for i, c := range conns {
+		eps[i] = c.LocalAddr().String()
+	}
+	full := FedTable(eps)
+	tableFor := func(self packet.IPv4Addr) map[packet.IPv4Addr]string {
+		m := make(map[packet.IPv4Addr]string, len(full)-1)
+		for a, ep := range full {
+			if a != self {
+				m[a] = ep
+			}
+		}
+		return m
+	}
+
+	const timeout = 3 * sim.Second
+	scripts := DefaultScripts()
+	type apResult struct {
+		stats ap.Stats
+		err   error
+	}
+	apDone := make([]chan apResult, 2)
+	for i := range apDone {
+		apDone[i] = make(chan apResult, 1)
+		go func(id int) {
+			st, err := RunAP(id, conns[FedDomains+id], tableFor(packet.APIP(id)),
+				packet.DomainControllerIP(id), scripts[id], id == 0, timeout)
+			apDone[id] <- apResult{st, err}
+		}(i)
+	}
+	dom0Done := make(chan error, 1)
+	go func() {
+		_, _, err := RunFedController(0, conns[0], tableFor(packet.DomainControllerIP(0)), timeout)
+		dom0Done <- err
+	}()
+
+	rec, got, err := RunFedController(1, conns[1], tableFor(packet.DomainControllerIP(1)), timeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("adopting domain returned without a handoff record")
+	}
+	if rec.From != 0 || rec.To != 1 {
+		t.Fatalf("handoff domain%d -> domain%d, want 0 -> 1", rec.From, rec.To)
+	}
+	if rec.FromAP != 0 || rec.ToAP != 1 {
+		t.Fatalf("handoff ap%d -> ap%d, want 0 -> 1", rec.FromAP, rec.ToAP)
+	}
+	if rec.Client != Client {
+		t.Fatalf("handed off client %v, want %v", rec.Client, Client)
+	}
+	if rec.SwitchDuration <= 0 {
+		t.Fatalf("cross-domain switch duration %v, want > 0 (real elapsed time)", rec.SwitchDuration)
+	}
+	if rec.Forced {
+		t.Fatal("cross-domain switch reported forced; want a clean stop->start->ack")
+	}
+
+	if err := <-dom0Done; err != nil {
+		t.Fatalf("domain 0: %v", err)
+	}
+	for i, ch := range apDone {
+		res := <-ch
+		if res.err != nil {
+			t.Fatalf("AP %d: %v", i, res.err)
+		}
+		switch i {
+		case 0:
+			if res.stats.StopsHandled == 0 {
+				t.Errorf("AP 0 handled no stop from the adopting domain")
 			}
 		case 1:
 			if res.stats.StartsHandled == 0 {

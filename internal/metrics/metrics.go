@@ -227,6 +227,18 @@ func (r *Registry) RecoverySpans() *SpanTracker {
 	return r.Spans(RecoverySpanTracker)
 }
 
+// HandoffSpanTracker is the canonical name of the inter-controller handoff
+// span tracker (offer → commit, DESIGN.md §13). The owning controller
+// begins a span when it offers a client to a peer domain and ends it when
+// it commits the transfer; an aborted handoff leaves its span incomplete.
+const HandoffSpanTracker = "handoff"
+
+// HandoffSpans returns the inter-controller handoff span tracker (nil on a
+// nil registry).
+func (r *Registry) HandoffSpans() *SpanTracker {
+	return r.Spans(HandoffSpanTracker)
+}
+
 // AddDuration accumulates simulated run time covered by this registry.
 // Fprint uses the total to report counter rates (e.g. ESNR reports/s).
 func (r *Registry) AddDuration(ns int64) {

@@ -393,6 +393,25 @@ func Fprint(w io.Writer, s Snapshot) {
 			fmt.Fprintf(w, "  recovery time: median %.1f ms, p95 %.1f ms\n",
 				ms(quantileNS(recDurs, 0.5)), ms(quantileNS(recDurs, 0.95)))
 		}
+		var hoDurs []int64
+		hoTotal, hoDone := 0, 0
+		for i := range s.Spans {
+			sp := &s.Spans[i]
+			if sp.Tracker != HandoffSpanTracker {
+				continue
+			}
+			hoTotal++
+			if sp.Completed {
+				hoDone++
+				hoDurs = append(hoDurs, sp.DurationNS())
+			}
+		}
+		if hoTotal > 0 {
+			fmt.Fprintf(w, "\nhandoff spans (offer → commit, DESIGN.md §13)\n")
+			fmt.Fprintf(w, "  %d handoffs offered, %d committed\n", hoTotal, hoDone)
+			fmt.Fprintf(w, "  offer→commit time: median %.1f ms, p95 %.1f ms\n",
+				ms(quantileNS(hoDurs, 0.5)), ms(quantileNS(hoDurs, 0.95)))
+		}
 	}
 }
 

@@ -17,6 +17,12 @@ const CauseFailover = "failover"
 // incident, from detection through the last stranded client's ack.
 const CauseAPFailure = "ap-failure"
 
+// CauseDomainHandoff marks a cross-domain event (DESIGN.md §13): on the
+// handoff tracker, one offer→commit transfer between controllers; on the
+// switch tracker, the stop→start→ack the adopting controller drives to pull
+// the client onto its own domain's AP.
+const CauseDomainHandoff = "domain-handoff"
+
 // SwitchSpan traces one execution of the §3.1.2 switching protocol, from
 // the controller's first stop(c) transmission to the ack that completes
 // the handover. Timestamps are simulated nanoseconds; a zero mark means

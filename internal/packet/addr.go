@@ -48,5 +48,17 @@ func APIP(id int) IPv4Addr { return IPv4Addr{10, 0, 0, byte(id + 10)} }
 // ControllerIP is the backhaul address of the WGTT controller.
 var ControllerIP = IPv4Addr{10, 0, 0, 1}
 
+// DomainControllerIP derives the backhaul address of the controller owning
+// federation domain d: 10.0.d.1. Domain 0 maps to ControllerIP, so a
+// single-domain deployment is addressed identically to the unfederated
+// system; APs live in 10.0.0.10+, so domain controllers d ≥ 1 never collide
+// with them.
+func DomainControllerIP(d int) IPv4Addr {
+	if d == 0 {
+		return ControllerIP
+	}
+	return IPv4Addr{10, 0, byte(d), 1}
+}
+
 // ClientIP derives the WLAN IP of client id: 192.168.1.(id+100).
 func ClientIP(id int) IPv4Addr { return IPv4Addr{192, 168, 1, byte(id + 100)} }

@@ -33,6 +33,19 @@ func exemplars() map[MsgType]Message {
 		MsgAssoc:       &AssocSync{Client: ClientMAC(6), ClientIP: ClientIP(6), AID: 2007, Authorized: true},
 		MsgHealthProbe: &HealthProbe{Seq: 0xdeadbeef, At: -1},
 		MsgHealthAck:   &HealthAck{AP: APIP(7), Seq: 0xdeadbeef, At: 1 << 60},
+		MsgDomainHandoffOffer: &DomainHandoffOffer{
+			HandoffID: 1<<24 | 7, Client: ClientMAC(4), ClientIP: ClientIP(4),
+			ServingAP: APIP(3), TargetAP: APIP(4), EvidenceQ: -33,
+		},
+		MsgDomainHandoffAccept: &DomainHandoffAccept{
+			HandoffID: 1<<24 | 7, Client: ClientMAC(4), Accept: true,
+		},
+		MsgDomainHandoffCommit: &DomainHandoffCommit{
+			HandoffID: 1<<24 | 7, Client: ClientMAC(4), ClientIP: ClientIP(4),
+			ServingAP: APIP(3), TargetAP: APIP(4), NextIndex: IndexMask,
+			DedupKeys: []DedupKey{0, 1, KeyOf(randomPacket(rnd)), 1<<48 - 1},
+			Evidence:  []APESNR{{AP: APIP(4), MedianQ: 97}, {AP: APIP(5), MedianQ: -12}},
+		},
 	}
 }
 
@@ -43,7 +56,7 @@ func exemplars() map[MsgType]Message {
 // message type without extending this test fails loudly.
 func TestCodecCoversEveryMsgType(t *testing.T) {
 	ex := exemplars()
-	for tt := MsgDownData; tt <= MsgHealthAck; tt++ {
+	for tt := MsgDownData; tt <= MsgDomainHandoffCommit; tt++ {
 		m, ok := ex[tt]
 		if !ok {
 			t.Fatalf("no exemplar for MsgType %d (%v) — extend exemplars()", tt, tt)
@@ -67,8 +80,8 @@ func TestCodecCoversEveryMsgType(t *testing.T) {
 	// The guard's other half: the loop above spans the whole declared type
 	// space. A type added after MsgHealthAck would make this String() hit a
 	// real case and fail here, pointing at the loop bound.
-	if s := (MsgHealthAck + 1).String(); !strings.HasPrefix(s, "msg?") {
-		t.Fatalf("MsgType %d has a name (%q) but is outside the exhaustive loop — update TestCodecCoversEveryMsgType", MsgHealthAck+1, s)
+	if s := (MsgDomainHandoffCommit + 1).String(); !strings.HasPrefix(s, "msg?") {
+		t.Fatalf("MsgType %d has a name (%q) but is outside the exhaustive loop — update TestCodecCoversEveryMsgType", MsgDomainHandoffCommit+1, s)
 	}
 }
 

@@ -50,6 +50,17 @@ const (
 	MsgHealthProbe
 	// MsgHealthAck is the AP→controller reply to a health probe.
 	MsgHealthAck
+	// MsgDomainHandoffOffer proposes moving a client between controller
+	// domains: the owning controller tells the peer which AP the evidence
+	// points at (DESIGN.md §13).
+	MsgDomainHandoffOffer
+	// MsgDomainHandoffAccept is the peer controller's answer to an offer.
+	MsgDomainHandoffAccept
+	// MsgDomainHandoffCommit transfers the client's volatile state bundle
+	// (downlink index cursor, uplink dedup window, ESNR evidence) to the new
+	// owner; sent slim (no bundle) as an ownership announcement to third
+	// domains.
+	MsgDomainHandoffCommit
 )
 
 // String implements fmt.Stringer.
@@ -75,6 +86,12 @@ func (t MsgType) String() string {
 		return "health-probe"
 	case MsgHealthAck:
 		return "health-ack"
+	case MsgDomainHandoffOffer:
+		return "handoff-offer"
+	case MsgDomainHandoffAccept:
+		return "handoff-accept"
+	case MsgDomainHandoffCommit:
+		return "handoff-commit"
 	default:
 		return fmt.Sprintf("msg?%d", uint8(t))
 	}
@@ -123,6 +140,12 @@ func Decode(src []byte) (Message, error) {
 		m = &HealthProbe{}
 	case MsgHealthAck:
 		m = &HealthAck{}
+	case MsgDomainHandoffOffer:
+		m = &DomainHandoffOffer{}
+	case MsgDomainHandoffAccept:
+		m = &DomainHandoffAccept{}
+	case MsgDomainHandoffCommit:
+		m = &DomainHandoffCommit{}
 	default:
 		return nil, fmt.Errorf("packet: unknown message type %d", src[0])
 	}
@@ -529,5 +552,195 @@ func (h *HealthAck) unmarshal(src []byte) error {
 	copy(h.AP[:], src[0:4])
 	h.Seq = binary.BigEndian.Uint32(src[4:8])
 	h.At = int64(binary.BigEndian.Uint64(src[8:16]))
+	return nil
+}
+
+// Caps on the variable-length sections of DomainHandoffCommit. They bound
+// both the encoded size and what the decoder will allocate for a hostile
+// length field; senders clamp to them (the dedup window is a recency FIFO,
+// so clamping keeps the newest keys).
+const (
+	// MaxHandoffDedupKeys bounds the uplink dedup window carried in a commit.
+	MaxHandoffDedupKeys = 512
+	// MaxHandoffEvidence bounds the per-AP ESNR evidence entries in a commit.
+	MaxHandoffEvidence = 32
+)
+
+// DomainHandoffOffer is step (1) of the inter-controller handoff protocol
+// (DESIGN.md §13): the controller owning a client proposes transferring it
+// to the peer whose domain contains the AP the client's ESNR evidence
+// points at. Addressing is controller→controller on the backhaul.
+type DomainHandoffOffer struct {
+	HandoffID uint32 // correlates offer/accept/commit of one handoff
+	Client    MACAddr
+	ClientIP  IPv4Addr
+	ServingAP IPv4Addr // client's current serving AP (owner's domain)
+	TargetAP  IPv4Addr // AP in the peer's domain the evidence points at
+	EvidenceQ int16    // best foreign windowed-median ESNR, 0.25 dB steps
+}
+
+// Type implements Message.
+func (*DomainHandoffOffer) Type() MsgType { return MsgDomainHandoffOffer }
+
+// WireSize implements Message.
+func (*DomainHandoffOffer) WireSize() int { return 4 + 6 + 4 + 4 + 4 + 2 }
+
+func (o *DomainHandoffOffer) marshal(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, o.HandoffID)
+	dst = append(dst, o.Client[:]...)
+	dst = append(dst, o.ClientIP[:]...)
+	dst = append(dst, o.ServingAP[:]...)
+	dst = append(dst, o.TargetAP[:]...)
+	return binary.BigEndian.AppendUint16(dst, uint16(o.EvidenceQ))
+}
+
+func (o *DomainHandoffOffer) unmarshal(src []byte) error {
+	if len(src) < o.WireSize() {
+		return fmt.Errorf("truncated")
+	}
+	o.HandoffID = binary.BigEndian.Uint32(src[0:4])
+	copy(o.Client[:], src[4:10])
+	copy(o.ClientIP[:], src[10:14])
+	copy(o.ServingAP[:], src[14:18])
+	copy(o.TargetAP[:], src[18:22])
+	o.EvidenceQ = int16(binary.BigEndian.Uint16(src[22:24]))
+	return nil
+}
+
+// DomainHandoffAccept is step (2): the peer controller either pre-stages the
+// adoption and accepts, or rejects (unknown target AP, client already
+// pending, controller shutting down).
+type DomainHandoffAccept struct {
+	HandoffID uint32
+	Client    MACAddr
+	Accept    bool
+}
+
+// Type implements Message.
+func (*DomainHandoffAccept) Type() MsgType { return MsgDomainHandoffAccept }
+
+// WireSize implements Message.
+func (*DomainHandoffAccept) WireSize() int { return 4 + 6 + 1 }
+
+func (a *DomainHandoffAccept) marshal(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, a.HandoffID)
+	dst = append(dst, a.Client[:]...)
+	if a.Accept {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func (a *DomainHandoffAccept) unmarshal(src []byte) error {
+	if len(src) < a.WireSize() {
+		return fmt.Errorf("truncated")
+	}
+	a.HandoffID = binary.BigEndian.Uint32(src[0:4])
+	copy(a.Client[:], src[4:10])
+	a.Accept = src[10] != 0
+	return nil
+}
+
+// APESNR is one ESNR evidence entry in a handoff commit: the owner's
+// windowed-median view of one of the new domain's APs, so the adopter can
+// seed its selection windows instead of starting cold.
+type APESNR struct {
+	AP      IPv4Addr
+	MedianQ int16 // 0.25 dB steps
+}
+
+// DomainHandoffCommit is step (3): the owner captures the client's volatile
+// state at the instant it stops serving it — the 12-bit downlink index
+// cursor the new owner must continue from, the most recent uplink dedup
+// keys (oldest first), and ESNR evidence — and transfers ownership. The
+// adopter echoes a slim commit (empty bundle) back to the old owner as a
+// delivery acknowledgement and to third domains as an ownership
+// announcement; receivers distinguish the roles by whether TargetAP lies in
+// their own domain.
+type DomainHandoffCommit struct {
+	HandoffID uint32
+	Client    MACAddr
+	ClientIP  IPv4Addr
+	ServingAP IPv4Addr // old AP the new owner must stop→start away from
+	TargetAP  IPv4Addr
+	NextIndex uint16 // 12-bit downlink index the new owner continues from
+	DedupKeys []DedupKey
+	Evidence  []APESNR
+}
+
+// Type implements Message.
+func (*DomainHandoffCommit) Type() MsgType { return MsgDomainHandoffCommit }
+
+// WireSize implements Message.
+func (c *DomainHandoffCommit) WireSize() int {
+	return 4 + 6 + 4 + 4 + 4 + 2 + 2 + 6*len(c.DedupKeys) + 1 + 6*len(c.Evidence)
+}
+
+func (c *DomainHandoffCommit) marshal(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, c.HandoffID)
+	dst = append(dst, c.Client[:]...)
+	dst = append(dst, c.ClientIP[:]...)
+	dst = append(dst, c.ServingAP[:]...)
+	dst = append(dst, c.TargetAP[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, c.NextIndex)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(c.DedupKeys)))
+	for _, k := range c.DedupKeys {
+		// 48-bit key: (SrcIP, IPID), high byte first.
+		dst = append(dst, byte(k>>40), byte(k>>32), byte(k>>24), byte(k>>16), byte(k>>8), byte(k))
+	}
+	dst = append(dst, byte(len(c.Evidence)))
+	for _, e := range c.Evidence {
+		dst = append(dst, e.AP[:]...)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(e.MedianQ))
+	}
+	return dst
+}
+
+func (c *DomainHandoffCommit) unmarshal(src []byte) error {
+	const fixed = 4 + 6 + 4 + 4 + 4 + 2
+	if len(src) < fixed+2 {
+		return fmt.Errorf("truncated")
+	}
+	c.HandoffID = binary.BigEndian.Uint32(src[0:4])
+	copy(c.Client[:], src[4:10])
+	copy(c.ClientIP[:], src[10:14])
+	copy(c.ServingAP[:], src[14:18])
+	copy(c.TargetAP[:], src[18:22])
+	c.NextIndex = binary.BigEndian.Uint16(src[22:24])
+	nk := int(binary.BigEndian.Uint16(src[24:26]))
+	if nk > MaxHandoffDedupKeys {
+		return fmt.Errorf("dedup window too large: %d keys", nk)
+	}
+	off := fixed + 2
+	if len(src) < off+6*nk+1 {
+		return fmt.Errorf("truncated dedup window")
+	}
+	c.DedupKeys = nil
+	if nk > 0 {
+		c.DedupKeys = make([]DedupKey, nk)
+		for i := range c.DedupKeys {
+			b := src[off+6*i:]
+			c.DedupKeys[i] = DedupKey(uint64(b[0])<<40 | uint64(b[1])<<32 |
+				uint64(b[2])<<24 | uint64(b[3])<<16 | uint64(b[4])<<8 | uint64(b[5]))
+		}
+	}
+	off += 6 * nk
+	ne := int(src[off])
+	if ne > MaxHandoffEvidence {
+		return fmt.Errorf("evidence section too large: %d entries", ne)
+	}
+	off++
+	if len(src) < off+6*ne {
+		return fmt.Errorf("truncated evidence")
+	}
+	c.Evidence = nil
+	if ne > 0 {
+		c.Evidence = make([]APESNR, ne)
+		for i := range c.Evidence {
+			b := src[off+6*i:]
+			copy(c.Evidence[i].AP[:], b[0:4])
+			c.Evidence[i].MedianQ = int16(binary.BigEndian.Uint16(b[4:6]))
+		}
+	}
 	return nil
 }
