@@ -8,9 +8,9 @@ GO ?= go
 RACE_PKGS = ./internal/fleet ./internal/eval ./internal/trace ./internal/stats \
 	./internal/runtime ./internal/backhaul/udp ./internal/live ./internal/federation
 
-.PHONY: check vet build test race bench bench-smoke fleet-determinism docs-check lint chaos-smoke live-smoke federation-smoke fuzz-smoke
+.PHONY: check vet build test race bench bench-smoke fleet-determinism docs-check lint chaos-smoke live-smoke federation-smoke fanout-smoke fuzz-smoke
 
-check: vet lint build test race bench-smoke chaos-smoke live-smoke federation-smoke fuzz-smoke docs-check
+check: vet lint build test race bench-smoke chaos-smoke live-smoke federation-smoke fanout-smoke fuzz-smoke docs-check
 
 # Static analysis beyond vet. The tools are optional — not every build
 # environment ships them — so each is gated on availability rather than
@@ -40,14 +40,17 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 
 # Hot-path packages with microbenchmarks and AllocsPerRun assertions.
-BENCH_PKGS = ./internal/sim ./internal/radio ./internal/phy ./internal/csi ./internal/controller ./internal/metrics
+BENCH_PKGS = ./internal/sim ./internal/radio ./internal/phy ./internal/csi ./internal/controller ./internal/metrics \
+	./internal/backhaul ./internal/backhaul/udp
 
 # Fast allocation-regression gate (part of check): every ZeroAlloc
-# assertion plus one iteration of each hot-path microbenchmark, so a
-# steady-state allocation or a broken bench fails tier-1 immediately.
+# assertion plus one iteration of each hot-path microbenchmark and of the
+# root fan-out benchmark family, so a steady-state allocation or a broken
+# bench fails tier-1 immediately.
 bench-smoke:
 	$(GO) test -run ZeroAlloc $(BENCH_PKGS)
 	$(GO) test -run '^$$' -bench 'GainsDB|ESNR|Median|Engine|BER' -benchtime 1x -benchmem $(BENCH_PKGS)
+	$(GO) test -run '^$$' -bench '^BenchmarkFanout' -benchtime 1x -benchmem .
 
 # Documentation lint: every internal package's godoc must carry at least one
 # paper-section marker (§) mapping the package to the part of the paper it
@@ -97,6 +100,18 @@ federation-smoke:
 	/tmp/wgtt-fleet -cells 2 -domains 2 -seed 7 -workers 4 2>/dev/null > /tmp/fed-fleet-w4.txt
 	cmp /tmp/fed-fleet-w1.txt /tmp/fed-fleet-w4.txt
 	@echo federation-smoke: inter-controller handoff deterministic live and in sim
+
+# Fan-out determinism smoke (part of check, DESIGN.md §14): the same drive
+# run twice must produce byte-identical summaries AND metrics tables — the
+# fan-out counters (downlink_encodes, downlink_copies) and the batched-write
+# depth histogram pin the data plane's replication decisions per seed.
+fanout-smoke:
+	$(GO) build -o /tmp/wgttsim ./cmd/wgttsim
+	/tmp/wgttsim -speed 25 -seed 7 -metrics /tmp/fanout-m1.json | grep -v '^metrics:' > /tmp/fanout-run1.txt
+	/tmp/wgttsim -speed 25 -seed 7 -metrics /tmp/fanout-m2.json | grep -v '^metrics:' > /tmp/fanout-run2.txt
+	cmp /tmp/fanout-run1.txt /tmp/fanout-run2.txt
+	cmp /tmp/fanout-m1.json /tmp/fanout-m2.json
+	@echo fanout-smoke: fan-out data plane deterministic, metrics byte-identical
 
 # Wire-codec fuzz smoke (part of check): a short coverage-guided run of
 # FuzzDecode on top of its seed corpus — malformed backhaul bytes must never

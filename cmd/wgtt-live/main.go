@@ -9,6 +9,7 @@
 //	wgtt-live                   # orchestrate: spawn controller + 2 APs, wait for the switch
 //	wgtt-live -aps 3 -timeout 5s
 //	wgtt-live -federation       # two controller processes hand the client across domains
+//	wgtt-live -fanout -aps 32   # measure downlink fan-out pkts/s, batched vs per-copy
 //
 // With -federation the orchestrator spawns two controller processes — one
 // per single-AP domain (DESIGN.md §13) — plus the two APs; the run succeeds
@@ -40,8 +41,10 @@ func main() {
 		domain     = flag.Int("domain", 0, "controller domain id (role=fedcontroller)")
 		listen     = flag.String("listen", "", "UDP address to bind (node roles)")
 		table      = flag.String("table", "", "comma-separated endpoints: controller,ap0,ap1,... (node roles)")
-		aps        = flag.Int("aps", 2, "number of AP processes (role=run)")
+		aps        = flag.Int("aps", 2, "number of AP processes (role=run), or fan-out width (-fanout)")
 		federation = flag.Bool("federation", false, "run the two-controller inter-domain handoff scenario (role=run)")
+		fanout     = flag.Bool("fanout", false, "measure downlink fan-out pkts/s over loopback instead of orchestrating")
+		packets    = flag.Int("packets", 50000, "downlink messages to push per fan-out measurement (-fanout)")
 		timeout    = flag.Duration("timeout", 10*time.Second, "give up if no switch completes in this long")
 	)
 	flag.Parse()
@@ -49,7 +52,9 @@ func main() {
 	var err error
 	switch *role {
 	case "run":
-		if *federation {
+		if *fanout {
+			err = measureFanout(*aps, *packets)
+		} else if *federation {
 			err = orchestrateFed(*timeout)
 		} else {
 			err = orchestrate(*aps, *timeout)
@@ -197,6 +202,30 @@ func orchestrateFed(timeout time.Duration) error {
 		return fmt.Errorf("controller 1: %w", err)
 	}
 	fmt.Printf("wgtt-live: federation OK — %d processes over UDP loopback\n", live.FedDomains+2)
+	return nil
+}
+
+// measureFanout runs the in-process fan-out load generator (DESIGN.md §14)
+// on both send paths and prints the sustained copy rates plus the batching
+// speedup. Rates are hardware-dependent, so this mode stays out of the
+// byte-compared smoke paths.
+func measureFanout(numAPs, packets int) error {
+	batched, err := live.MeasureFanout(numAPs, packets, true)
+	if err != nil {
+		return err
+	}
+	perCopy, err := live.MeasureFanout(numAPs, packets, false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wgtt-live: fan-out %d APs x %d packets over UDP loopback\n", numAPs, packets)
+	fmt.Printf("  batched:  %12.0f pkts/s  (%d datagrams for %d copies)\n",
+		batched.PktsPerSec, batched.Stats.Sent, batched.Copies)
+	fmt.Printf("  per-copy: %12.0f pkts/s  (%d datagrams for %d copies)\n",
+		perCopy.PktsPerSec, perCopy.Stats.Sent, perCopy.Copies)
+	if perCopy.PktsPerSec > 0 {
+		fmt.Printf("  speedup:  %.1fx\n", batched.PktsPerSec/perCopy.PktsPerSec)
+	}
 	return nil
 }
 

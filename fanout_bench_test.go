@@ -1,0 +1,153 @@
+// Downlink fan-out benchmark family (DESIGN.md §14): sustained
+// packets-per-second of the §3.1.1 replication path at 8/32/128-AP widths,
+// on both substrates. FanoutSim drives the controller's relevance set and
+// the simulator Switch's encode-once SendMany; FanoutController isolates
+// the controller's own send path over a null fabric (the zero-alloc hot
+// path); FanoutUDP pushes real datagrams over loopback through the batched
+// sendmmsg writer, with FanoutUDPPerCopy as the per-copy Send loop it
+// replaced — the pair is the PR's before/after comparison.
+package wgtt_test
+
+import (
+	"testing"
+
+	"wgtt/internal/backhaul"
+	"wgtt/internal/controller"
+	"wgtt/internal/live"
+	"wgtt/internal/packet"
+	wrt "wgtt/internal/runtime"
+	"wgtt/internal/sim"
+)
+
+var fanoutWidths = []struct {
+	name string
+	aps  int
+}{
+	{"8aps", 8}, {"32aps", 32}, {"128aps", 128},
+}
+
+// benchController builds a controller whose one client is heard by every AP,
+// so each downlink fans out to the full width. AP 0 reports the strongest
+// ESNR and serves the client, so the selection rule never starts a switch
+// (its stop/start timers would otherwise keep the engine busy forever).
+func benchController(nAPs int, eng *sim.Engine, fab backhaul.Fabric) *controller.Controller {
+	infos := make([]controller.APInfo, nAPs)
+	for i := range infos {
+		infos[i] = controller.APInfo{ID: i, IP: packet.APIP(i), MAC: packet.APMAC(i)}
+	}
+	cfg := controller.DefaultConfig()
+	// Keep every AP's recency fresh for the whole run: the benchmark
+	// measures steady-state full-width fan-out, not window expiry.
+	cfg.FanoutWindow = sim.Time(1) << 60
+	ctl := controller.New(cfg, wrt.Virtual(eng), fab, infos)
+	client := packet.ClientMAC(1)
+	ctl.RegisterClient(client, packet.ClientIP(1), 0)
+	snr := make([]float64, packet.CSISubcarriers)
+	for i := 0; i < nAPs; i++ {
+		db := 10.0
+		if i == 0 {
+			db = 20.0
+		}
+		for j := range snr {
+			snr[j] = db
+		}
+		rep := &packet.CSIReport{Client: client, AP: packet.APIP(i), At: int64(eng.Now())}
+		rep.QuantizeSNR(snr)
+		ctl.HandleBackhaul(packet.APIP(i), rep)
+	}
+	eng.Run()
+	return ctl
+}
+
+// Sim substrate: controller relevance set + the Switch's encode-once
+// SendMany with its pooled combined-delivery event.
+func BenchmarkFanoutSim(b *testing.B) {
+	for _, w := range fanoutWidths {
+		b.Run(w.name, func(b *testing.B) {
+			eng := sim.NewEngine()
+			bh := backhaul.NewSwitch(eng, 200*sim.Microsecond)
+			sink := backhaul.NodeFunc(func(packet.IPv4Addr, packet.Message) {})
+			for i := 0; i < w.aps; i++ {
+				bh.Attach(packet.APIP(i), sink)
+			}
+			ctl := benchController(w.aps, eng, bh)
+			p := &packet.Packet{ClientMAC: packet.ClientMAC(1), Bytes: 1200}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ctl.SendDownlink(p); err != nil {
+					b.Fatal(err)
+				}
+				eng.Run()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*w.aps)/b.Elapsed().Seconds(), "pkts/s")
+		})
+	}
+}
+
+// nullManyFabric counts fan-out copies and discards them: the fabric-free
+// ceiling of the controller's send path.
+type nullManyFabric struct{ copies uint64 }
+
+func (f *nullManyFabric) Attach(packet.IPv4Addr, backhaul.Node) {}
+func (f *nullManyFabric) Send(_, _ packet.IPv4Addr, _ packet.Message) error {
+	f.copies++
+	return nil
+}
+func (f *nullManyFabric) Broadcast(packet.IPv4Addr, packet.Message) {}
+func (f *nullManyFabric) SendMany(_ packet.IPv4Addr, tos []packet.IPv4Addr, _ packet.Message) {
+	f.copies += uint64(len(tos))
+}
+
+// Controller path in isolation: relevance-set sweep plus target emission
+// over a null fabric. Steady state is allocation-free (the ZeroAlloc test
+// pins it; -benchmem shows it here).
+func BenchmarkFanoutController(b *testing.B) {
+	for _, w := range fanoutWidths {
+		b.Run(w.name, func(b *testing.B) {
+			eng := sim.NewEngine()
+			fab := &nullManyFabric{}
+			ctl := benchController(w.aps, eng, fab)
+			p := &packet.Packet{ClientMAC: packet.ClientMAC(1), Bytes: 1200}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ctl.SendDownlink(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*w.aps)/b.Elapsed().Seconds(), "pkts/s")
+		})
+	}
+}
+
+// Live substrate, batched: encode once, one batch datagram per endpoint,
+// sendmmsg on Linux.
+func BenchmarkFanoutUDP(b *testing.B) {
+	for _, w := range fanoutWidths {
+		b.Run(w.name, func(b *testing.B) {
+			r, err := live.MeasureFanout(w.aps, b.N, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(r.PktsPerSec, "pkts/s")
+		})
+	}
+}
+
+// Live substrate, per-copy baseline: the pre-batching path — one encode and
+// one WriteToUDP per copy. The FanoutUDP/FanoutUDPPerCopy pkts/s ratio is
+// the fan-out speedup this PR claims.
+func BenchmarkFanoutUDPPerCopy(b *testing.B) {
+	for _, w := range fanoutWidths {
+		b.Run(w.name, func(b *testing.B) {
+			r, err := live.MeasureFanout(w.aps, b.N, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(r.PktsPerSec, "pkts/s")
+		})
+	}
+}

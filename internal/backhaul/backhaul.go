@@ -44,6 +44,36 @@ type Fabric interface {
 	Broadcast(from packet.IPv4Addr, msg packet.Message)
 }
 
+// ManySender is the optional fan-out fast path a Fabric may implement: one
+// message encoded once and replicated to every target, instead of a
+// per-target Send that re-encodes each copy. Implementations must never
+// retain msg past the call — they materialize the delivered copy (or the
+// wire bytes) synchronously, so callers may reuse a scratch message
+// immediately. Per-destination delivery order matches the equivalent Send
+// loop: each target sees messages from one sender in the order they were
+// sent.
+type ManySender interface {
+	// SendMany delivers msg from one address to each target, in slice
+	// order. Targets the fabric cannot resolve are skipped — the same
+	// outcome as the per-target Send loop, whose per-target errors the
+	// fan-out path ignores.
+	SendMany(from packet.IPv4Addr, tos []packet.IPv4Addr, msg packet.Message)
+}
+
+// SendToAll replicates msg to every target through f's fan-out fast path
+// when it implements ManySender, else through a per-target Send loop. It is
+// the one call site pattern the controller's downlink fan-out uses, so a
+// fabric only has to implement SendMany to accelerate it.
+func SendToAll(f Fabric, from packet.IPv4Addr, tos []packet.IPv4Addr, msg packet.Message) {
+	if ms, ok := f.(ManySender); ok {
+		ms.SendMany(from, tos, msg)
+		return
+	}
+	for _, to := range tos {
+		_ = f.Send(from, to, msg)
+	}
+}
+
 // Switch is the Ethernet fabric. It is store-and-forward with a fixed
 // one-way latency; bandwidth is assumed ample (the paper's gigabit LAN
 // never saturates at roadside AP loads).
@@ -75,6 +105,13 @@ type Switch struct {
 	sent    uint64
 	dropped uint64
 	bytes   uint64
+
+	// encScratch is SendMany's reusable encode buffer; the switch runs on
+	// the single simulation goroutine, so one buffer serves every send.
+	encScratch []byte
+	// dfree pools manyDelivery batches so a steady-state fan-out schedules
+	// its combined delivery event without allocating.
+	dfree []*manyDelivery
 }
 
 // NewSwitch creates a switch with the given one-way delivery latency.
@@ -149,6 +186,91 @@ func (s *Switch) Broadcast(from packet.IPv4Addr, msg packet.Message) {
 		// Errors are impossible here: every address is attached.
 		_ = s.Send(from, addr, msg)
 	}
+}
+
+// manyDelivery is one pooled fan-out delivery batch: the N same-instant
+// per-target delivery events a Send loop would have scheduled, collapsed
+// into a single engine event that walks the targets in the same order. The
+// engine delivers same-time events FIFO and SendMany schedules nothing in
+// between, so the per-node delivery sequence is identical to the loop's.
+type manyDelivery struct {
+	sw    *Switch
+	from  packet.IPv4Addr
+	msg   packet.Message
+	nodes []Node
+	// run is the pre-bound method value handed to the engine, allocated
+	// once per pooled batch instead of once per send.
+	run func()
+}
+
+func (d *manyDelivery) fire() {
+	for _, n := range d.nodes {
+		n.HandleBackhaul(d.from, d.msg)
+	}
+	d.recycle()
+}
+
+func (d *manyDelivery) recycle() {
+	d.msg = nil
+	d.nodes = d.nodes[:0]
+	d.sw.dfree = append(d.sw.dfree, d)
+}
+
+func (s *Switch) getDelivery() *manyDelivery {
+	if n := len(s.dfree); n > 0 {
+		d := s.dfree[n-1]
+		s.dfree = s.dfree[:n-1]
+		return d
+	}
+	d := &manyDelivery{sw: s}
+	d.run = d.fire
+	return d
+}
+
+// SendMany implements ManySender: encode msg once, deliver the decoded copy
+// to every attached target in slice order. Per-target accounting matches
+// the equivalent Send loop — unattached targets are skipped, bytes and sent
+// count per attached copy — and the codec round-trip happens regardless of
+// Verify, which is what lets callers reuse msg immediately (the
+// non-retention contract; plain Send retains msg in its delivery closure
+// when Verify is off).
+//
+// With a Drop or Delay hook installed SendMany falls back to the per-target
+// Send loop: the hooks consult their RNG once per (target, message) in
+// target order, and a fault-injected run's draw sequence — and with it its
+// byte-identical replay — must not depend on which send path the caller
+// picked.
+func (s *Switch) SendMany(from packet.IPv4Addr, tos []packet.IPv4Addr, msg packet.Message) {
+	s.encScratch = packet.EncodeInto(s.encScratch[:0], msg)
+	decoded, err := packet.Decode(s.encScratch)
+	if err != nil {
+		// Unencodable message: nothing deliverable (the codec tests make
+		// this unreachable for every real message type).
+		return
+	}
+	if s.Drop != nil || s.Delay != nil {
+		for _, to := range tos {
+			_ = s.Send(from, to, decoded)
+		}
+		return
+	}
+	d := s.getDelivery()
+	size := uint64(3 + msg.WireSize())
+	for _, to := range tos {
+		node, ok := s.nodes[to]
+		if !ok {
+			continue
+		}
+		s.bytes += size
+		s.sent++
+		d.nodes = append(d.nodes, node)
+	}
+	if len(d.nodes) == 0 {
+		d.recycle()
+		return
+	}
+	d.from, d.msg = from, decoded
+	s.eng.After(s.latency, d.run)
 }
 
 // Stats reports the number of delivered and dropped messages and the total

@@ -1,0 +1,198 @@
+package backhaul
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+// recNode records every delivery it receives, in order.
+type recNode struct {
+	from []packet.IPv4Addr
+	msgs []packet.Message
+}
+
+func (r *recNode) HandleBackhaul(from packet.IPv4Addr, msg packet.Message) {
+	r.from = append(r.from, from)
+	r.msgs = append(r.msgs, msg)
+}
+
+func downMsg(index uint16) *packet.DownData {
+	return &packet.DownData{Pkt: &packet.Packet{
+		ClientMAC: packet.ClientMAC(1), Index: index, Bytes: 1200,
+	}}
+}
+
+// SendMany must be observationally identical to the per-target Send loop:
+// same stats, same per-node delivery sequence, unattached targets skipped.
+func TestSendManyMatchesSendLoop(t *testing.T) {
+	build := func() (*sim.Engine, *Switch, []*recNode, []packet.IPv4Addr) {
+		eng := sim.NewEngine()
+		sw := NewSwitch(eng, 200*sim.Microsecond)
+		nodes := make([]*recNode, 4)
+		addrs := make([]packet.IPv4Addr, 4)
+		for i := range nodes {
+			nodes[i] = &recNode{}
+			addrs[i] = packet.APIP(i)
+			sw.Attach(addrs[i], nodes[i])
+		}
+		return eng, sw, nodes, addrs
+	}
+
+	unattached := packet.APIP(9)
+	engA, swA, nodesA, addrs := build()
+	engB, swB, nodesB, _ := build()
+	for round := uint16(0); round < 3; round++ {
+		tos := []packet.IPv4Addr{addrs[2], addrs[0], unattached, addrs[3]}
+		for _, to := range tos {
+			_ = swA.Send(packet.ControllerIP, to, downMsg(round))
+		}
+		swB.SendMany(packet.ControllerIP, tos, downMsg(round))
+	}
+	engA.Run()
+	engB.Run()
+
+	aSent, aDrop, aBytes := swA.Stats()
+	bSent, bDrop, bBytes := swB.Stats()
+	if aSent != bSent || aDrop != bDrop || aBytes != bBytes {
+		t.Fatalf("stats diverge: Send loop (%d,%d,%d) vs SendMany (%d,%d,%d)",
+			aSent, aDrop, aBytes, bSent, bDrop, bBytes)
+	}
+	for i := range nodesA {
+		a, b := nodesA[i], nodesB[i]
+		if len(a.msgs) != len(b.msgs) {
+			t.Fatalf("node %d: Send loop delivered %d, SendMany %d", i, len(a.msgs), len(b.msgs))
+		}
+		for j := range a.msgs {
+			am, bm := a.msgs[j].(*packet.DownData), b.msgs[j].(*packet.DownData)
+			if am.Pkt.Index != bm.Pkt.Index || a.from[j] != b.from[j] {
+				t.Fatalf("node %d msg %d: loop (%v from %v) vs many (%v from %v)",
+					i, j, am.Pkt.Index, a.from[j], bm.Pkt.Index, b.from[j])
+			}
+		}
+	}
+}
+
+// SendMany never retains msg: the caller may scribble over it the moment the
+// call returns, and the delivered copies are unaffected.
+func TestSendManyNonRetention(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, 200*sim.Microsecond)
+	sw.Verify = false // retention is most tempting with the codec off
+	n := &recNode{}
+	sw.Attach(packet.APIP(0), n)
+
+	msg := downMsg(7)
+	sw.SendMany(packet.ControllerIP, []packet.IPv4Addr{packet.APIP(0)}, msg)
+	msg.Pkt.Index = 999 // reuse the scratch before the engine delivers
+	msg.Pkt = nil
+	eng.Run()
+
+	if len(n.msgs) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(n.msgs))
+	}
+	got := n.msgs[0].(*packet.DownData)
+	if got.Pkt == nil || got.Pkt.Index != 7 {
+		t.Fatalf("delivered copy aliased the caller's scratch: %+v", got)
+	}
+}
+
+// With a Drop hook installed, SendMany must consume exactly the same RNG
+// draw sequence as the Send loop, so chaos runs replay byte-identically
+// whichever path the caller used.
+func TestSendManyDropHookDeterminism(t *testing.T) {
+	run := func(useMany bool) (delivered int, next float64) {
+		eng := sim.NewEngine()
+		sw := NewSwitch(eng, 200*sim.Microsecond)
+		rnd := rand.New(rand.NewPCG(42, 1))
+		sw.Drop = RandomDrop(0.5, rnd)
+		nodes := make([]*recNode, 3)
+		var tos []packet.IPv4Addr
+		for i := range nodes {
+			nodes[i] = &recNode{}
+			sw.Attach(packet.APIP(i), nodes[i])
+			tos = append(tos, packet.APIP(i))
+		}
+		for round := uint16(0); round < 20; round++ {
+			if useMany {
+				sw.SendMany(packet.ControllerIP, tos, downMsg(round))
+			} else {
+				for _, to := range tos {
+					_ = sw.Send(packet.ControllerIP, to, downMsg(round))
+				}
+			}
+		}
+		eng.Run()
+		for _, n := range nodes {
+			delivered += len(n.msgs)
+		}
+		return delivered, rnd.Float64()
+	}
+	dLoop, rLoop := run(false)
+	dMany, rMany := run(true)
+	if dLoop != dMany || rLoop != rMany {
+		t.Fatalf("drop-hook divergence: loop delivered %d (next draw %v), many delivered %d (next draw %v)",
+			dLoop, rLoop, dMany, rMany)
+	}
+	if dLoop == 60 || dLoop == 0 {
+		t.Fatalf("drop hook inert: delivered %d of 60", dLoop)
+	}
+}
+
+// plainFabric implements Fabric but not ManySender.
+type plainFabric struct {
+	sends []packet.IPv4Addr
+}
+
+func (p *plainFabric) Attach(packet.IPv4Addr, Node) {}
+func (p *plainFabric) Send(_, to packet.IPv4Addr, _ packet.Message) error {
+	p.sends = append(p.sends, to)
+	return nil
+}
+func (p *plainFabric) Broadcast(packet.IPv4Addr, packet.Message) {}
+
+// SendToAll falls back to a per-target Send loop for fabrics without the
+// fan-out fast path.
+func TestSendToAllFallback(t *testing.T) {
+	p := &plainFabric{}
+	tos := []packet.IPv4Addr{packet.APIP(2), packet.APIP(0)}
+	SendToAll(p, packet.ControllerIP, tos, downMsg(1))
+	if len(p.sends) != 2 || p.sends[0] != tos[0] || p.sends[1] != tos[1] {
+		t.Fatalf("fallback sends = %v, want %v", p.sends, tos)
+	}
+}
+
+// Steady-state SendMany allocates only the delivered copy — the decoded
+// DownData and its Packet, which receivers retain so they cannot be pooled —
+// and nothing per target: pooled delivery batches, reused encode scratch.
+// The old per-target Send loop allocated an encode buffer plus a decoded
+// copy for every target.
+func TestSendManyZeroAllocPerTarget(t *testing.T) {
+	measure := func(width int) float64 {
+		eng := sim.NewEngine()
+		sw := NewSwitch(eng, 200*sim.Microsecond)
+		var tos []packet.IPv4Addr
+		for i := 0; i < width; i++ {
+			sw.Attach(packet.APIP(i), NodeFunc(func(packet.IPv4Addr, packet.Message) {}))
+			tos = append(tos, packet.APIP(i))
+		}
+		msg := downMsg(1)
+		send := func() {
+			sw.SendMany(packet.ControllerIP, tos, msg)
+			eng.Run() // drain so the delivery batch recycles
+		}
+		for i := 0; i < 4; i++ {
+			send()
+		}
+		return testing.AllocsPerRun(100, send)
+	}
+	narrow, wide := measure(2), measure(64)
+	if narrow != wide {
+		t.Fatalf("allocations scale with fan-out width: %.1f/op at 2 targets, %.1f/op at 64", narrow, wide)
+	}
+	if wide > 2 {
+		t.Fatalf("SendMany steady state allocates %.1f/op, want <= 2 (the delivered copy)", wide)
+	}
+}

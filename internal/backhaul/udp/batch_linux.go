@@ -1,0 +1,113 @@
+// sendmmsg batch writes (DESIGN.md §14): the fan-out's per-endpoint
+// datagrams go to the kernel in one system call instead of one per
+// datagram. Only the syscall plumbing lives here — grouping and datagram
+// layout are in SendMany — so the !linux build swaps in a WriteToUDP loop
+// with identical semantics (§3.1.1 fan-out works everywhere, it is just
+// fastest on Linux).
+
+//go:build linux && (amd64 || arm64)
+
+package udp
+
+import (
+	"net"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// mmsghdr mirrors the kernel's struct mmsghdr on 64-bit Linux: a msghdr
+// plus the kernel-filled transmitted-byte count and 4 bytes of alignment
+// padding.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	cnt uint32
+	pad uint32
+}
+
+// batchWriter holds the reusable sendmmsg vectors; guarded by Fabric.smu
+// like the rest of the send-path scratch.
+type batchWriter struct {
+	hdrs []mmsghdr
+	iovs []syscall.Iovec
+	sas  []syscall.RawSockaddrInet4
+}
+
+// writeBatch writes one datagram per (dst, buf) pair using as few sendmmsg
+// calls as the kernel accepts, returning the number written. Non-IPv4
+// destinations and raw-connection failures fall back to the portable
+// WriteToUDP loop.
+func (f *Fabric) writeBatch(dsts []*net.UDPAddr, bufs [][]byte) int {
+	n := len(bufs)
+	if n == 0 {
+		return 0
+	}
+	for _, d := range dsts {
+		if d.IP.To4() == nil {
+			return f.writeLoop(dsts, bufs)
+		}
+	}
+	rc, err := f.conn.SyscallConn()
+	if err != nil {
+		return f.writeLoop(dsts, bufs)
+	}
+
+	w := &f.bw
+	if cap(w.hdrs) < n {
+		w.hdrs = make([]mmsghdr, n)
+		w.iovs = make([]syscall.Iovec, n)
+		w.sas = make([]syscall.RawSockaddrInet4, n)
+	}
+	w.hdrs = w.hdrs[:n]
+	w.iovs = w.iovs[:n]
+	w.sas = w.sas[:n]
+	for i := range bufs {
+		sa := &w.sas[i]
+		sa.Family = syscall.AF_INET
+		port := uint16(dsts[i].Port)
+		sa.Port = port<<8 | port>>8 // network byte order
+		copy(sa.Addr[:], dsts[i].IP.To4())
+		iov := &w.iovs[i]
+		iov.Base = &bufs[i][0]
+		iov.SetLen(len(bufs[i]))
+		h := &w.hdrs[i]
+		h.hdr = syscall.Msghdr{
+			Name:    (*byte)(unsafe.Pointer(sa)),
+			Namelen: syscall.SizeofSockaddrInet4,
+			Iov:     iov,
+			Iovlen:  1,
+		}
+		h.cnt = 0
+	}
+
+	sent := 0
+	for sent < n {
+		var wrote int
+		var errno syscall.Errno
+		werr := rc.Write(func(fd uintptr) bool {
+			r, _, e := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&w.hdrs[sent])), uintptr(n-sent), 0, 0, 0)
+			if e == syscall.EAGAIN {
+				return false // wait until the socket is writable, then retry
+			}
+			wrote, errno = int(r), e
+			return true
+		})
+		if werr != nil {
+			break
+		}
+		if errno == syscall.EINTR {
+			continue
+		}
+		if errno != 0 || wrote <= 0 {
+			// Kernel refused (sandboxed syscall filter, shrunk buffers…):
+			// finish the remainder through the portable loop.
+			sent += f.writeLoop(dsts[sent:], bufs[sent:])
+			break
+		}
+		sent += wrote
+	}
+	runtime.KeepAlive(bufs)
+	runtime.KeepAlive(w)
+	return sent
+}

@@ -1,0 +1,7 @@
+//go:build linux && amd64
+
+package udp
+
+// sysSendmmsg is the sendmmsg system call number on linux/amd64; the
+// frozen syscall package predates sendmmsg, so the number lives here.
+const sysSendmmsg = 307

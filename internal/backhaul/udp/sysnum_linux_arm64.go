@@ -1,0 +1,6 @@
+//go:build linux && arm64
+
+package udp
+
+// sysSendmmsg is the sendmmsg system call number on linux/arm64.
+const sysSendmmsg = 269

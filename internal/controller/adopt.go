@@ -110,7 +110,11 @@ func (c *Controller) DedupWindow(mac packet.MACAddr, max int) []packet.DedupKey 
 
 // SeedESNR pushes one synthetic reading into the (client, AP) window — how
 // an adopter installs the old owner's ESNR evidence so selection does not
-// start blind.
+// start blind. Seeding also enters the AP into the client's downlink
+// fan-out relevance set (fanout.go): the carried evidence is exactly the
+// recency knowledge the old owner's fan-out ran on, so the adopted
+// client's downlink replicates to the same APs without waiting for fresh
+// CSI.
 func (c *Controller) SeedESNR(mac packet.MACAddr, apID int, esnrDB float64) {
 	cl := c.clients[mac]
 	if cl == nil || apID < 0 || apID >= len(cl.windows) {
@@ -118,6 +122,5 @@ func (c *Controller) SeedESNR(mac packet.MACAddr, apID int, esnrDB float64) {
 	}
 	now := c.clk.Now()
 	cl.windows[apID].push(now, esnrDB)
-	cl.lastHeard[apID] = now
-	cl.heardEver[apID] = true
+	cl.fanHeard(apID, now)
 }

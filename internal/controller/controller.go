@@ -1,8 +1,6 @@
 package controller
 
 import (
-	"fmt"
-
 	"wgtt/internal/backhaul"
 	"wgtt/internal/csi"
 	"wgtt/internal/metrics"
@@ -160,6 +158,17 @@ type ctlMetrics struct {
 	dedupSize   *metrics.Gauge
 	spans       *metrics.SpanTracker
 
+	// Downlink fan-out data plane (DESIGN.md §14). downlinkEncodes counts
+	// packets entering the fan-out (one encode each on the fast path);
+	// downlinkCopies counts the per-AP replicas — their ratio is the
+	// replication factor the encode-once path amortizes. fanoutSetSize
+	// samples the relevance-set occupancy after each emission, fanoutDepth
+	// the batched-write depth handed to the fabric per packet.
+	downlinkEncodes *metrics.Counter
+	downlinkCopies  *metrics.Counter
+	fanoutSetSize   *metrics.Gauge
+	fanoutDepth     *metrics.Histogram
+
 	// Health monitor & failure recovery (DESIGN.md §11). recoverySpans
 	// traces detect → reselect → first ack per AP-death incident.
 	healthProbes   *metrics.Counter
@@ -185,6 +194,10 @@ func (c *Controller) UseMetrics(r *metrics.Registry) {
 		dedupMisses:     r.Counter("dedup", "misses"),
 		dedupSize:       r.Gauge("dedup", "size"),
 		spans:           r.SwitchSpans(),
+		downlinkEncodes: r.Counter("fanout", "downlink_encodes"),
+		downlinkCopies:  r.Counter("fanout", "downlink_copies"),
+		fanoutSetSize:   r.Gauge("fanout", "fanout_set_size"),
+		fanoutDepth:     r.Histogram("fanout", "batch_depth", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
 		healthProbes:    r.Counter("controller", "health_probes"),
 		apsMarkedDead:   r.Counter("controller", "aps_marked_dead"),
 		apsReadmitted:   r.Counter("controller", "aps_readmitted"),
@@ -217,6 +230,13 @@ type clientCtl struct {
 	windows   []*esnrWindow // indexed by AP ID
 	lastHeard []sim.Time
 	heardEver []bool
+
+	// Downlink fan-out relevance set (fanout.go): fanSet lists member AP
+	// ids ascending, inFan mirrors membership, heardCount counts true
+	// heardEver entries (0 selects the bootstrap broadcast).
+	fanSet     []int32
+	inFan      []bool
+	heardCount int
 
 	serving    int
 	lastSwitch sim.Time
@@ -281,6 +301,12 @@ type Controller struct {
 	// buffer serves every report.
 	snrScratch []float64
 
+	// targetScratch and downScratch are SendDownlink's reusable fan-out
+	// target list and DownData envelope: the fabric's fan-out fast path
+	// never retains either (fanout.go, DESIGN.md §14).
+	targetScratch []packet.IPv4Addr
+	downScratch   packet.DownData
+
 	// met holds the observability instruments; dedupEntries tracks the
 	// total dedup-hashset occupancy across clients for the size gauge.
 	met          ctlMetrics
@@ -338,6 +364,7 @@ func (c *Controller) RegisterClient(mac packet.MACAddr, ip packet.IPv4Addr, serv
 		heardEver: make([]bool, len(c.aps)),
 		serving:   servingAP,
 		lastBest:  -1,
+		inFan:     make([]bool, len(c.aps)),
 		dedup:     make(map[packet.DedupKey]struct{}, c.cfg.DedupCapacity),
 	}
 	for i := range cl.windows {
@@ -418,8 +445,7 @@ func (c *Controller) handleCSI(m *packet.CSIReport) {
 	}
 	cl.windows[apID].push(at, esnr)
 	c.met.windowOcc.Observe(float64(cl.windows[apID].size()))
-	cl.lastHeard[apID] = c.clk.Now()
-	cl.heardEver[apID] = true
+	cl.fanHeard(apID, c.clk.Now())
 	c.evaluate(cl)
 }
 
@@ -548,52 +574,6 @@ func (c *Controller) handleSwitchAck(m *packet.SwitchAck) {
 	if c.OnSwitch != nil {
 		c.OnSwitch(rec)
 	}
-}
-
-// SendDownlink accepts one downlink packet from the wired side, assigns its
-// 12-bit index, and fans it out to every AP that heard the client recently
-// (or all APs if none has yet).
-func (c *Controller) SendDownlink(p *packet.Packet) error {
-	if c.down {
-		// A crashed controller forwards nothing; the wired side's packets
-		// are simply lost until Recover (DESIGN.md §11).
-		c.Stats.CtlDownlinkDropped++
-		return nil
-	}
-	cl := c.clients[p.ClientMAC]
-	if cl == nil {
-		return fmt.Errorf("controller: unknown client %v", p.ClientMAC)
-	}
-	p.Index = cl.nextIndex
-	cl.nextIndex = packet.NextIndex(cl.nextIndex)
-	c.Stats.DownlinkSent++
-
-	now := c.clk.Now()
-	anyHeard := false
-	for _, h := range cl.heardEver {
-		if h {
-			anyHeard = true
-			break
-		}
-	}
-	for _, a := range c.aps {
-		include := a.ID == cl.serving ||
-			(cl.heardEver[a.ID] && now-cl.lastHeard[a.ID] <= c.cfg.FanoutWindow)
-		if !anyHeard {
-			// Bootstrap: no AP has heard the client yet — fan out broadly.
-			include = true
-		}
-		if !c.apAlive(a.ID) {
-			// Replicating to a dead AP buys nothing: its ring dies with it.
-			include = false
-		}
-		if !include {
-			continue
-		}
-		_ = c.bh.Send(c.addr, a.IP, &packet.DownData{APDst: a.IP, Pkt: p})
-		c.Stats.DownlinkCopies++
-	}
-	return nil
 }
 
 // handleUplink de-duplicates and forwards one tunneled uplink packet.

@@ -282,6 +282,7 @@ func (c *Controller) Recover() {
 			cl.lastHeard[i] = 0
 			cl.heardEver[i] = false
 		}
+		cl.fanReset()
 		c.dedupEntries -= len(cl.dedup)
 		cl.dedup = make(map[packet.DedupKey]struct{}, c.cfg.DedupCapacity)
 		cl.dedupFIFO = nil

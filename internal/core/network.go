@@ -463,7 +463,9 @@ func (n *Network) startProbePlane() {
 				}
 				n.snrScratch = link.SNRInto(at, cep, n.snrScratch)
 				// The report itself is freshly allocated per send: with wire
-				// verification off the backhaul retains the pointer.
+				// verification off, plain Send retains the pointer in its
+				// delivery closure (only the SendMany fan-out path carries
+				// the non-retention contract, DESIGN.md §14).
 				rep := &packet.CSIReport{Client: cl.Config().MAC, AP: a.Config().IP, At: int64(at)}
 				rep.QuantizeSNR(n.snrScratch)
 				_ = n.Bh.Send(a.Config().IP, packet.ControllerIP, rep)

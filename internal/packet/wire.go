@@ -100,8 +100,16 @@ func (t MsgType) String() string {
 // Encode serializes a message with its 3-byte envelope: type (1) and
 // payload length (2, big-endian).
 func Encode(m Message) []byte {
+	return EncodeInto(make([]byte, 0, 3+m.WireSize()), m)
+}
+
+// EncodeInto appends m's enveloped encoding to dst and returns the extended
+// slice, following the append convention: a hot path that replicates one
+// message to many destinations (§3.1.1 downlink fan-out) encodes once into
+// a reused scratch buffer instead of allocating per copy. The produced
+// bytes are identical to Encode's.
+func EncodeInto(dst []byte, m Message) []byte {
 	n := m.WireSize()
-	dst := make([]byte, 0, 3+n)
 	dst = append(dst, byte(m.Type()))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(n))
 	dst = m.marshal(dst)
