@@ -8,9 +8,9 @@ GO ?= go
 RACE_PKGS = ./internal/fleet ./internal/eval ./internal/trace ./internal/stats \
 	./internal/runtime ./internal/backhaul/udp ./internal/live ./internal/federation
 
-.PHONY: check vet build test race bench bench-smoke fleet-determinism docs-check lint chaos-smoke live-smoke federation-smoke fanout-smoke fuzz-smoke
+.PHONY: check vet build test race bench bench-smoke fleet-determinism docs-check lint chaos-smoke live-smoke federation-smoke fanout-smoke selector-smoke fuzz-smoke
 
-check: vet lint build test race bench-smoke chaos-smoke live-smoke federation-smoke fanout-smoke fuzz-smoke docs-check
+check: vet lint build test race bench-smoke chaos-smoke live-smoke federation-smoke fanout-smoke selector-smoke fuzz-smoke docs-check
 
 # Static analysis beyond vet. The tools are optional — not every build
 # environment ships them — so each is gated on availability rather than
@@ -40,8 +40,8 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 
 # Hot-path packages with microbenchmarks and AllocsPerRun assertions.
-BENCH_PKGS = ./internal/sim ./internal/radio ./internal/phy ./internal/csi ./internal/controller ./internal/metrics \
-	./internal/backhaul ./internal/backhaul/udp
+BENCH_PKGS = ./internal/sim ./internal/radio ./internal/phy ./internal/csi ./internal/controller ./internal/selector \
+	./internal/metrics ./internal/backhaul ./internal/backhaul/udp
 
 # Fast allocation-regression gate (part of check): every ZeroAlloc
 # assertion plus one iteration of each hot-path microbenchmark and of the
@@ -49,7 +49,7 @@ BENCH_PKGS = ./internal/sim ./internal/radio ./internal/phy ./internal/csi ./int
 # bench fails tier-1 immediately.
 bench-smoke:
 	$(GO) test -run ZeroAlloc $(BENCH_PKGS)
-	$(GO) test -run '^$$' -bench 'GainsDB|ESNR|Median|Engine|BER' -benchtime 1x -benchmem $(BENCH_PKGS)
+	$(GO) test -run '^$$' -bench 'GainsDB|ESNR|Median|Engine|BER|Selector' -benchtime 1x -benchmem $(BENCH_PKGS)
 	$(GO) test -run '^$$' -bench '^BenchmarkFanout' -benchtime 1x -benchmem .
 
 # Documentation lint: every internal package's godoc must carry at least one
@@ -112,6 +112,23 @@ fanout-smoke:
 	cmp /tmp/fanout-run1.txt /tmp/fanout-run2.txt
 	cmp /tmp/fanout-m1.json /tmp/fanout-m2.json
 	@echo fanout-smoke: fan-out data plane deterministic, metrics byte-identical
+
+# Selection-policy smoke (part of check, DESIGN.md §15): the ext-selector
+# ablation run twice per policy must print byte-identical tables — selectors
+# are pure functions of the CSI sequence, so policy choice must never break
+# the per-seed determinism contract.
+selector-smoke:
+	$(GO) build -o /tmp/wgtt-experiments ./cmd/wgtt-experiments
+	/tmp/wgtt-experiments -quick ext-selector | grep -v '(.*s)$$' > /tmp/sel-abl-1.txt
+	/tmp/wgtt-experiments -quick ext-selector | grep -v '(.*s)$$' > /tmp/sel-abl-2.txt
+	cmp /tmp/sel-abl-1.txt /tmp/sel-abl-2.txt
+	$(GO) build -o /tmp/wgttsim ./cmd/wgttsim
+	@for pol in windowed-median predictive global-assign; do \
+		/tmp/wgttsim -selector $$pol -speed 25 -seed 7 > /tmp/sel-$$pol-1.txt || exit 1; \
+		/tmp/wgttsim -selector $$pol -speed 25 -seed 7 > /tmp/sel-$$pol-2.txt || exit 1; \
+		cmp /tmp/sel-$$pol-1.txt /tmp/sel-$$pol-2.txt || exit 1; \
+	done
+	@echo selector-smoke: selection policies deterministic in ablation and CLI
 
 # Wire-codec fuzz smoke (part of check): a short coverage-guided run of
 # FuzzDecode on top of its seed corpus — malformed backhaul bytes must never

@@ -256,3 +256,18 @@ func BenchmarkAblationSelectionMetric(b *testing.B) {
 		b.ReportMetric(r.OffValue, "mean-loss-Mb/s")
 	}
 }
+
+func BenchmarkExtSelector(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := eval.ExtSelector(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline deltas of DESIGN.md §15: how fast each policy leaves a
+		// collapsed serving link, and the pile-up GlobalAssign's budget caps.
+		b.ReportMetric(r.CollapseLagMS[0], "median-collapse-lag-ms")
+		b.ReportMetric(r.CollapseLagMS[1], "predictive-collapse-lag-ms")
+		b.ReportMetric(r.MeanAPLoad[0], "median-mean-AP-load")
+		b.ReportMetric(r.MeanAPLoad[2], "global-assign-mean-AP-load")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"wgtt/internal/eval"
 	"wgtt/internal/metrics"
 	"wgtt/internal/profiling"
+	"wgtt/internal/selector"
 )
 
 func main() {
@@ -35,6 +36,8 @@ func main() {
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiments")
 		metricsOut = flag.String("metrics", "",
 			"write a merged metrics snapshot (JSON) to this file; '-' prints a table to stdout")
+		selectorFlag = flag.String("selector", "",
+			"AP-selection policy override for every experiment (DESIGN.md §15): windowed-median | predictive | global-assign")
 		prof = profiling.AddFlags()
 	)
 	flag.Parse()
@@ -52,6 +55,15 @@ func main() {
 	}
 	defer stopProf()
 	opt := eval.Options{Seed: *seed, Quick: *quick, CollectMetrics: *metricsOut != ""}
+	if *selectorFlag != "" {
+		pol, err := selector.ParsePolicy(*selectorFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selector:", err)
+			stopProf()
+			os.Exit(1)
+		}
+		opt.Selector = &selector.Config{Policy: pol}
+	}
 	ids := flag.Args()
 	if *chaosOnly {
 		ids = append(ids, "ext-resilience")

@@ -27,6 +27,7 @@ import (
 	"wgtt/internal/chaos"
 	"wgtt/internal/fleet"
 	"wgtt/internal/profiling"
+	"wgtt/internal/selector"
 	"wgtt/internal/sim"
 )
 
@@ -47,9 +48,11 @@ func main() {
 		traceDir   = flag.String("trace-dir", "", "write per-cell JSONL event traces here")
 		metricsOut = flag.String("metrics", "",
 			"write a merged metrics snapshot (JSON) to this file; '-' prints a table to stdout")
-		chaosOn   = flag.Bool("chaos", false, "inject deterministic faults into every cell (DESIGN.md §11)")
-		chaosMTBF = flag.Float64("chaos-ap-mtbf", 60, "AP-crash mean time between failures per cell, seconds")
-		prof      = profiling.AddFlags()
+		chaosOn      = flag.Bool("chaos", false, "inject deterministic faults into every cell (DESIGN.md §11)")
+		chaosMTBF    = flag.Float64("chaos-ap-mtbf", 60, "AP-crash mean time between failures per cell, seconds")
+		selectorFlag = flag.String("selector", "",
+			"AP-selection policy per cell (DESIGN.md §15): windowed-median | predictive | global-assign")
+		prof = profiling.AddFlags()
 	)
 	flag.Parse()
 
@@ -94,6 +97,15 @@ func main() {
 		ccfg := chaos.DefaultConfig()
 		ccfg.APCrashMTBF = sim.FromSeconds(*chaosMTBF)
 		cfg.Chaos = &ccfg
+	}
+	if *selectorFlag != "" {
+		pol, err := selector.ParsePolicy(*selectorFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selector:", err)
+			stopProf()
+			os.Exit(1)
+		}
+		cfg.Selector = &selector.Config{Policy: pol}
 	}
 	start := time.Now()
 	res, err := fleet.Run(cfg)

@@ -31,6 +31,7 @@ import (
 
 	"wgtt/internal/live"
 	"wgtt/internal/packet"
+	"wgtt/internal/selector"
 	"wgtt/internal/sim"
 )
 
@@ -46,10 +47,16 @@ func main() {
 		fanout     = flag.Bool("fanout", false, "measure downlink fan-out pkts/s over loopback instead of orchestrating")
 		packets    = flag.Int("packets", 50000, "downlink messages to push per fan-out measurement (-fanout)")
 		timeout    = flag.Duration("timeout", 10*time.Second, "give up if no switch completes in this long")
+		selectorF  = flag.String("selector", "",
+			"AP-selection policy for the controller process (DESIGN.md §15): windowed-median | predictive | global-assign")
 	)
 	flag.Parse()
 
-	var err error
+	pol, err := selector.ParsePolicy(*selectorF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wgtt-live:", err)
+		os.Exit(1)
+	}
 	switch *role {
 	case "run":
 		if *fanout {
@@ -57,10 +64,10 @@ func main() {
 		} else if *federation {
 			err = orchestrateFed(*timeout)
 		} else {
-			err = orchestrate(*aps, *timeout)
+			err = orchestrate(*aps, *timeout, pol)
 		}
 	case "controller":
-		err = runController(*listen, strings.Split(*table, ","), *timeout)
+		err = runController(*listen, strings.Split(*table, ","), *timeout, pol)
 	case "fedcontroller":
 		err = runFedController(*domain, *listen, strings.Split(*table, ","), *timeout)
 	case "ap":
@@ -96,7 +103,7 @@ func freeAddrs(n int) ([]string, error) {
 
 // orchestrate spawns one controller and numAPs AP processes over loopback
 // and waits for the controller to report a completed switch.
-func orchestrate(numAPs int, timeout time.Duration) error {
+func orchestrate(numAPs int, timeout time.Duration, pol selector.Policy) error {
 	if numAPs < 2 {
 		return fmt.Errorf("need at least 2 APs for a switch, got %d", numAPs)
 	}
@@ -136,7 +143,7 @@ func orchestrate(numAPs int, timeout time.Duration) error {
 		}
 		apProcs = append(apProcs, p)
 	}
-	ctl, err := spawn("-role", "controller",
+	ctl, err := spawn("-role", "controller", "-selector", string(pol),
 		"-listen", addrs[0], "-table", tableArg, "-timeout", timeout.String())
 	if err != nil {
 		return fmt.Errorf("spawning controller: %w", err)
@@ -244,13 +251,13 @@ func bindAndTable(listen string, full map[packet.IPv4Addr]string, self packet.IP
 	return conn, full, nil
 }
 
-func runController(listen string, endpoints []string, timeout time.Duration) error {
+func runController(listen string, endpoints []string, timeout time.Duration, pol selector.Policy) error {
 	conn, table, err := bindAndTable(listen, live.Table(endpoints), packet.ControllerIP)
 	if err != nil {
 		return err
 	}
 	numAPs := len(endpoints) - 1
-	rec, err := live.RunController(conn, table, numAPs, sim.Time(timeout))
+	rec, err := live.RunController(conn, table, numAPs, sim.Time(timeout), pol)
 	if err != nil {
 		return err
 	}

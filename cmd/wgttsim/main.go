@@ -14,6 +14,7 @@ import (
 	"wgtt/internal/chaos"
 	"wgtt/internal/core"
 	"wgtt/internal/mobility"
+	"wgtt/internal/selector"
 	"wgtt/internal/sim"
 	"wgtt/internal/trace"
 )
@@ -35,6 +36,8 @@ func main() {
 		chaosOn       = flag.Bool("chaos", false, "enable deterministic fault injection (DESIGN.md §11)")
 		chaosMTBF     = flag.Float64("chaos-ap-mtbf", 60, "AP-crash mean time between failures, seconds")
 		chaosDowntime = flag.Float64("chaos-downtime", 2, "AP downtime before restart, seconds")
+		selectorFlag  = flag.String("selector", "",
+			"AP-selection policy (DESIGN.md §15): windowed-median | predictive | global-assign")
 	)
 	flag.Parse()
 
@@ -61,6 +64,14 @@ func main() {
 		ccfg.APCrashMTBF = sim.FromSeconds(*chaosMTBF)
 		ccfg.APDowntime = sim.FromSeconds(*chaosDowntime)
 		s.Chaos = &ccfg
+	}
+	if *selectorFlag != "" {
+		pol, err := selector.ParsePolicy(*selectorFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selector:", err)
+			os.Exit(1)
+		}
+		s.Selector = &selector.Config{Policy: pol}
 	}
 	n, err := core.Build(s)
 	if err != nil {

@@ -56,6 +56,7 @@ func (c *Controller) ReleaseClient(mac packet.MACAddr) bool {
 	}
 	c.dedupEntries -= len(cl.dedup)
 	c.met.dedupSize.Set(float64(c.dedupEntries))
+	c.sel.RemoveClient(mac)
 	delete(c.clients, mac)
 	for i, m := range c.clientOrder {
 		if m == mac {
@@ -108,19 +109,21 @@ func (c *Controller) DedupWindow(mac packet.MACAddr, max int) []packet.DedupKey 
 	return out
 }
 
-// SeedESNR pushes one synthetic reading into the (client, AP) window — how
-// an adopter installs the old owner's ESNR evidence so selection does not
-// start blind. Seeding also enters the AP into the client's downlink
-// fan-out relevance set (fanout.go): the carried evidence is exactly the
-// recency knowledge the old owner's fan-out ran on, so the adopted
-// client's downlink replicates to the same APs without waiting for fresh
-// CSI.
+// SeedESNR pushes one synthetic reading into the selector's (client, AP)
+// window — how an adopter installs the old owner's ESNR evidence so
+// selection does not start blind. Every policy shares the median-window
+// evidence store, so seeding warms whichever policy the adopting domain
+// runs (DESIGN.md §15). Seeding also enters the AP into the client's
+// downlink fan-out relevance set (fanout.go): the carried evidence is
+// exactly the recency knowledge the old owner's fan-out ran on, so the
+// adopted client's downlink replicates to the same APs without waiting
+// for fresh CSI.
 func (c *Controller) SeedESNR(mac packet.MACAddr, apID int, esnrDB float64) {
 	cl := c.clients[mac]
-	if cl == nil || apID < 0 || apID >= len(cl.windows) {
+	if cl == nil || apID < 0 || apID >= len(c.aps) {
 		return
 	}
 	now := c.clk.Now()
-	cl.windows[apID].push(now, esnrDB)
+	c.sel.Observe(mac, apID, esnrDB, now)
 	cl.fanHeard(apID, now)
 }

@@ -1,3 +1,13 @@
+// Package controller implements the WGTT controller (§3): CSI ingest into
+// the pluggable AP-selection policy (internal/selector, which owns the
+// per-(client, AP) ESNR windows and the §3.1.1 decision rule), the
+// stop/start/ack switching state machine with its 30 ms retransmission
+// timeout and single-outstanding-switch constraint, downlink fan-out into
+// every nearby AP's cyclic queue, and uplink de-duplication keyed by
+// (source IP, IP ID). The controller keeps the scheduling gates — one
+// switch in flight per client, frozen during federation handoffs, the
+// Fig. 22 hysteresis dwell — and delegates the what-AP question to the
+// configured selector.Selector.
 package controller
 
 import (
@@ -6,6 +16,7 @@ import (
 	"wgtt/internal/metrics"
 	"wgtt/internal/packet"
 	"wgtt/internal/runtime"
+	"wgtt/internal/selector"
 	"wgtt/internal/sim"
 )
 
@@ -37,6 +48,13 @@ type Config struct {
 	MinSwitchESNRdB float64
 	// DedupCapacity bounds the uplink de-duplication hashset.
 	DedupCapacity int
+
+	// Selector picks and parameterizes the AP-selection policy
+	// (DESIGN.md §15). The zero value is the paper's windowed-median
+	// rule, byte-identical to the historical inline implementation; the
+	// base §3.1.1 knobs above (Window, MedianMarginDB, MinSamples,
+	// MinSwitchESNRdB) parameterize every policy.
+	Selector selector.Config
 
 	// HealthInterval paces the AP health monitor: every interval the
 	// controller scans for APs it has not heard from (no CSI, uplink, acks
@@ -126,6 +144,15 @@ type Stats struct {
 	DownlinkSent    uint64
 	DownlinkCopies  uint64
 
+	// Selection-policy counters (DESIGN.md §15). SelectionDecisions
+	// counts policy evaluations that reached the selector (past the
+	// op/frozen/hysteresis gates); PredictiveEarlySwitches counts
+	// switches the Predictive policy fired ahead of the median rule;
+	// AssignmentRounds counts GlobalAssign's fleet-wide recomputations.
+	SelectionDecisions      uint64
+	PredictiveEarlySwitches uint64
+	AssignmentRounds        uint64
+
 	// AP health monitor & failure recovery (DESIGN.md §11).
 	HealthProbes           uint64 // probes sent to quiet APs
 	APsMarkedDead          uint64 // detection events
@@ -147,7 +174,12 @@ type ctlMetrics struct {
 	// previous evaluation's — raw selection churn, before hysteresis.
 	selectionFlips *metrics.Counter
 	// hystSuppressed counts re-evaluations skipped inside the dwell time.
-	hystSuppressed  *metrics.Counter
+	hystSuppressed *metrics.Counter
+	// Selection-policy instruments (DESIGN.md §15): decisions that reached
+	// the selector, Predictive's early switches, GlobalAssign's rounds.
+	selDecisions    *metrics.Counter
+	predictiveEarly *metrics.Counter
+	assignRounds    *metrics.Counter
 	switchesStarted *metrics.Counter
 	switchesDone    *metrics.Counter
 	stopRetransmits *metrics.Counter
@@ -187,6 +219,9 @@ func (c *Controller) UseMetrics(r *metrics.Registry) {
 		windowOcc:       r.Histogram("controller", "window_occupancy", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
 		selectionFlips:  r.Counter("controller", "selection_flips"),
 		hystSuppressed:  r.Counter("controller", "hysteresis_suppressions"),
+		selDecisions:    r.Counter("controller", "selection_decisions"),
+		predictiveEarly: r.Counter("controller", "predictive_early_switches"),
+		assignRounds:    r.Counter("controller", "assignment_rounds"),
 		switchesStarted: r.Counter("controller", "switches_started"),
 		switchesDone:    r.Counter("controller", "switches_done"),
 		stopRetransmits: r.Counter("controller", "stop_retransmits"),
@@ -227,7 +262,9 @@ type clientCtl struct {
 	mac packet.MACAddr
 	ip  packet.IPv4Addr
 
-	windows   []*esnrWindow // indexed by AP ID
+	// lastHeard/heardEver are the fan-out recency evidence (fanout.go)
+	// and the failover fallback tiers (health.go); the selection-grade
+	// ESNR windows live in the selector.
 	lastHeard []sim.Time
 	heardEver []bool
 
@@ -247,10 +284,6 @@ type clientCtl struct {
 	// itself and must not race a locally-initiated switch (DESIGN.md §13).
 	frozen bool
 
-	// lastBest is the previous evaluation's argmax AP (-1 before any), the
-	// reference point for the selection-flip metric.
-	lastBest int
-
 	nextIndex uint16
 
 	dedup     map[packet.DedupKey]struct{}
@@ -269,6 +302,12 @@ type Controller struct {
 	bh   backhaul.Fabric
 	aps  []APInfo
 	addr packet.IPv4Addr
+
+	// sel is the AP-selection policy (DESIGN.md §15); aliveFn is the
+	// health monitor's verdict bound once at construction so the per-CSI
+	// Decide call stays allocation-free.
+	sel     selector.Selector
+	aliveFn func(int) bool
 
 	clients map[packet.MACAddr]*clientCtl
 	// clientOrder lists clients in registration order. Every whole-fleet
@@ -336,6 +375,13 @@ func New(cfg Config, clk runtime.Clock, bh backhaul.Fabric, aps []APInfo) *Contr
 	for _, a := range aps {
 		c.ipToAP[a.IP] = a.ID
 	}
+	c.sel = selector.New(cfg.Selector, selector.Params{
+		Window:          cfg.Window,
+		MedianMarginDB:  cfg.MedianMarginDB,
+		MinSamples:      cfg.MinSamples,
+		MinSwitchESNRdB: cfg.MinSwitchESNRdB,
+	}, len(aps))
+	c.aliveFn = c.apAlive
 	if cfg.HealthInterval > 0 && cfg.DetectTimeout > 0 {
 		c.health = make([]apHealth, len(aps))
 		for i := range c.health {
@@ -359,17 +405,13 @@ func (c *Controller) RegisterClient(mac packet.MACAddr, ip packet.IPv4Addr, serv
 	cl := &clientCtl{
 		mac:       mac,
 		ip:        ip,
-		windows:   make([]*esnrWindow, len(c.aps)),
 		lastHeard: make([]sim.Time, len(c.aps)),
 		heardEver: make([]bool, len(c.aps)),
 		serving:   servingAP,
-		lastBest:  -1,
 		inFan:     make([]bool, len(c.aps)),
 		dedup:     make(map[packet.DedupKey]struct{}, c.cfg.DedupCapacity),
 	}
-	for i := range cl.windows {
-		cl.windows[i] = newWindow(c.cfg.Window)
-	}
+	c.sel.AddClient(mac, servingAP)
 	c.clients[mac] = cl
 	c.clientOrder = append(c.clientOrder, mac)
 }
@@ -384,14 +426,14 @@ func (c *Controller) ServingAP(mac packet.MACAddr) int {
 }
 
 // MedianESNR exposes the current windowed median for (client, AP) — the
-// quantity the selection rule compares (evaluation hook).
+// quantity the selection rule compares (evaluation hook, and the
+// federation tier's evidence export; every policy maintains it).
 func (c *Controller) MedianESNR(mac packet.MACAddr, apID int) (float64, bool) {
-	cl := c.clients[mac]
-	if cl == nil || apID < 0 || apID >= len(cl.windows) {
-		return 0, false
-	}
-	return cl.windows[apID].median(c.clk.Now())
+	return c.sel.Median(mac, apID, c.clk.Now())
 }
+
+// SelectionPolicy reports the active AP-selection policy.
+func (c *Controller) SelectionPolicy() selector.Policy { return c.sel.Policy() }
 
 // HandleBackhaul implements backhaul.Node.
 func (c *Controller) HandleBackhaul(from packet.IPv4Addr, msg packet.Message) {
@@ -432,7 +474,7 @@ func (c *Controller) handleCSI(m *packet.CSIReport) {
 		return
 	}
 	apID := c.apIndexByIP(m.AP)
-	if apID < 0 || apID >= len(cl.windows) {
+	if apID < 0 || apID >= len(c.aps) {
 		return
 	}
 	c.Stats.CSIReports++
@@ -443,13 +485,16 @@ func (c *Controller) handleCSI(m *packet.CSIReport) {
 	if now := c.clk.Now(); at > now || at < now-c.cfg.Window {
 		at = now
 	}
-	cl.windows[apID].push(at, esnr)
-	c.met.windowOcc.Observe(float64(cl.windows[apID].size()))
+	occ := c.sel.Observe(cl.mac, apID, esnr, at)
+	c.met.windowOcc.Observe(float64(occ))
 	cl.fanHeard(apID, c.clk.Now())
 	c.evaluate(cl)
 }
 
-// evaluate runs the §3.1.1 selection rule and §3.1.2 switching protocol.
+// evaluate runs the selection policy and §3.1.2 switching protocol. The
+// scheduling gates — one outstanding switch, frozen during federation
+// handoffs, the Fig. 22 hysteresis dwell — stay here; what the ESNR
+// evidence says is the selector's question (DESIGN.md §15).
 func (c *Controller) evaluate(cl *clientCtl) {
 	if cl.op != nil {
 		return // one outstanding switch at a time
@@ -459,58 +504,35 @@ func (c *Controller) evaluate(cl *clientCtl) {
 	}
 	now := c.clk.Now()
 	if now-cl.lastSwitch < c.cfg.Hysteresis {
-		// Dwell-time suppression: the §3.1.1 rule would have re-run here
-		// but the Fig. 22 hysteresis holds the serving AP.
+		// Dwell-time suppression: the selection rule would have re-run
+		// here but the Fig. 22 hysteresis holds the serving AP.
 		c.met.hystSuppressed.Inc()
 		return
 	}
-	minSamples := c.cfg.MinSamples
-	if minSamples < 1 {
-		minSamples = 1
-	}
-	best, bestMed := -1, 0.0
-	for id, w := range cl.windows {
-		if !c.apAlive(id) {
-			continue // dead APs are not selection candidates
-		}
-		med, ok := w.median(now)
-		if !ok || (id != cl.serving && w.size() < minSamples) {
-			continue
-		}
-		if best == -1 || med > bestMed {
-			best, bestMed = id, med
-		}
-	}
-	if best != -1 && best != cl.lastBest {
-		// The argmax moved — selection churn, whether or not the gates
-		// below let it become a switch.
+	c.Stats.SelectionDecisions++
+	c.met.selDecisions.Inc()
+	d := c.sel.Decide(cl.mac, cl.serving, now, c.aliveFn)
+	if d.Flip {
 		c.met.selectionFlips.Inc()
-		cl.lastBest = best
 	}
-	if best == -1 || best == cl.serving {
+	if d.NewRound {
+		c.Stats.AssignmentRounds++
+		c.met.assignRounds.Inc()
+	}
+	if d.Target < 0 || d.Target == cl.serving {
 		return
 	}
-	if bestMed < c.cfg.MinSwitchESNRdB {
-		return // nobody usable; switching would just churn
+	if d.Early {
+		c.Stats.PredictiveEarlySwitches++
+		c.met.predictiveEarly.Inc()
 	}
-	servMed, servOK := cl.windows[cl.serving].median(now)
-	if !c.apAlive(cl.serving) {
-		// A dead incumbent defends nothing, however fresh its window looks.
-		servOK = false
-	}
-	if servOK && bestMed < servMed+c.cfg.MedianMarginDB {
-		return
-	}
-	if !servOK {
-		servMed = 0
-	}
-	c.initiateSwitch(cl, best, servMed, bestMed)
+	c.initiateSwitch(cl, d)
 }
 
 // initiateSwitch sends stop(c) to the serving AP and arms the timeout.
-// fromMed/toMed are the window medians that justified the switch, recorded
-// on its span.
-func (c *Controller) initiateSwitch(cl *clientCtl, to int, fromMed, toMed float64) {
+// The decision's cause and from/to figures (medians, or predicted ESNRs
+// for an early switch) are recorded on the span.
+func (c *Controller) initiateSwitch(cl *clientCtl, d selector.Decision) {
 	if !c.apAlive(cl.serving) {
 		// A stop to a dead AP would only feed the retransmission loop;
 		// recover via the direct-start failover path instead.
@@ -518,13 +540,13 @@ func (c *Controller) initiateSwitch(cl *clientCtl, to int, fromMed, toMed float6
 		return
 	}
 	c.switchSeq++
-	op := &switchOp{id: c.switchSeq, from: cl.serving, to: to, sentAt: c.clk.Now()}
+	op := &switchOp{id: c.switchSeq, from: cl.serving, to: d.Target, sentAt: c.clk.Now()}
 	cl.op = op
 	c.Stats.SwitchesStarted++
 	c.met.switchesStarted.Inc()
 	if c.met.spans != nil {
 		c.met.spans.Begin(op.id, int64(op.sentAt), cl.mac.String(),
-			op.from, op.to, metrics.CauseMedianArgmax, fromMed, toMed)
+			op.from, op.to, d.Cause, d.FromMetric, d.ToMetric)
 	}
 	c.sendStop(cl, op)
 }
@@ -553,6 +575,7 @@ func (c *Controller) handleSwitchAck(m *packet.SwitchAck) {
 	op.timer.Stop()
 	cl.op = nil
 	cl.serving = op.to
+	c.sel.SetServing(cl.mac, op.to)
 	cl.lastSwitch = c.clk.Now()
 	rec := SwitchRecord{
 		At:       c.clk.Now(),

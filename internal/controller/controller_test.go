@@ -1,7 +1,6 @@
 package controller
 
 import (
-	"sort"
 	"testing"
 
 	"wgtt/internal/backhaul"
@@ -10,45 +9,6 @@ import (
 	wrt "wgtt/internal/runtime"
 	"wgtt/internal/sim"
 )
-
-func TestWindowMedianAndEviction(t *testing.T) {
-	w := newWindow(10 * sim.Millisecond)
-	if _, ok := w.median(0); ok {
-		t.Error("empty window reported a median")
-	}
-	w.push(1*sim.Millisecond, 10)
-	w.push(2*sim.Millisecond, 30)
-	w.push(3*sim.Millisecond, 20)
-	med, ok := w.median(3 * sim.Millisecond)
-	if !ok || med != 20 {
-		t.Errorf("median = %v, %v", med, ok)
-	}
-	// Paper's upper median for even counts: sorted[n/2].
-	w.push(4*sim.Millisecond, 40)
-	med, _ = w.median(4 * sim.Millisecond)
-	if med != 30 {
-		t.Errorf("even-count median = %v, want 30 (upper)", med)
-	}
-	// Everything slides out after 10 ms.
-	if _, ok := w.median(20 * sim.Millisecond); ok {
-		t.Error("stale window still reported a median")
-	}
-	if w.size() != 0 {
-		t.Errorf("window not evicted, size=%d", w.size())
-	}
-}
-
-func TestWindowLastHeard(t *testing.T) {
-	w := newWindow(10 * sim.Millisecond)
-	if _, ok := w.lastHeard(); ok {
-		t.Error("empty window has lastHeard")
-	}
-	w.push(5*sim.Millisecond, 1)
-	at, ok := w.lastHeard()
-	if !ok || at != 5*sim.Millisecond {
-		t.Errorf("lastHeard = %v, %v", at, ok)
-	}
-}
 
 // --- integrated controller harness over a backhaul with scripted APs ---
 
@@ -366,30 +326,6 @@ func TestMedianESNRAccessor(t *testing.T) {
 	}
 	if _, ok := h.ctl.MedianESNR(packet.ClientMAC(9), 0); ok {
 		t.Error("median for unknown client")
-	}
-}
-
-// Property: the window median matches a sort-based reference for random
-// sample sets (upper median at even counts, like the paper's e_{L/2}).
-func TestWindowMedianMatchesReference(t *testing.T) {
-	rnd := sim.NewRNG(77).Stream("median")
-	for trial := 0; trial < 200; trial++ {
-		w := newWindow(sim.Second)
-		n := 1 + rnd.IntN(40)
-		vals := make([]float64, n)
-		for i := range vals {
-			vals[i] = rnd.Float64()*40 - 10
-			w.push(sim.Time(i)*sim.Millisecond, vals[i])
-		}
-		got, ok := w.median(sim.Time(n) * sim.Millisecond)
-		if !ok {
-			t.Fatal("median missing")
-		}
-		sorted := append([]float64(nil), vals...)
-		sort.Float64s(sorted)
-		if want := sorted[n/2]; got != want {
-			t.Fatalf("median = %v, want %v (n=%d)", got, want, n)
-		}
 	}
 }
 

@@ -79,7 +79,7 @@ func TestFanoutEquivalenceRandomized(t *testing.T) {
 			switch op := rnd.IntN(100); {
 			case op < 55: // CSI heard from a random AP
 				ap := rnd.IntN(nAPs)
-				cl.windows[ap].push(h.eng.Now(), 10)
+				h.ctl.sel.Observe(client, ap, 10, h.eng.Now())
 				cl.fanHeard(ap, h.eng.Now())
 			case op < 75: // time passes (can expire fan-out members)
 				h.eng.RunUntil(h.eng.Now() + sim.Time(rnd.IntN(60))*sim.Millisecond)

@@ -132,23 +132,11 @@ func (c *Controller) markAPDead(id int) {
 // lowest-numbered alive AP. Returns -1 only when every AP is dead.
 func (c *Controller) pickFailover(cl *clientCtl) int {
 	now := c.clk.Now()
-	best, bestMed := -1, 0.0
-	for id, w := range cl.windows {
-		if !c.apAlive(id) {
-			continue
-		}
-		med, ok := w.median(now)
-		if !ok {
-			continue
-		}
-		if best == -1 || med > bestMed {
-			best, bestMed = id, med
-		}
-	}
+	best := c.sel.BestAlive(cl.mac, now, c.aliveFn)
 	if best != -1 {
 		return best
 	}
-	for id := range cl.windows {
+	for id := range cl.lastHeard {
 		if !c.apAlive(id) || !cl.heardEver[id] {
 			continue
 		}
@@ -213,7 +201,7 @@ func (c *Controller) forceSwitch(cl *clientCtl, recoveryID uint32) {
 	c.met.switchesStarted.Inc()
 	c.met.forcedSwitches.Inc()
 	if c.met.spans != nil {
-		toMed, _ := cl.windows[to].median(now)
+		toMed, _ := c.sel.Median(cl.mac, to, now)
 		c.met.spans.Begin(op.id, int64(now), cl.mac.String(),
 			op.from, op.to, metrics.CauseFailover, 0, toMed)
 	}
@@ -277,8 +265,8 @@ func (c *Controller) Recover() {
 	now := c.clk.Now()
 	for _, mac := range c.clientOrder {
 		cl := c.clients[mac]
-		for i := range cl.windows {
-			cl.windows[i] = newWindow(c.cfg.Window)
+		c.sel.ResetClient(mac)
+		for i := range cl.lastHeard {
 			cl.lastHeard[i] = 0
 			cl.heardEver[i] = false
 		}
@@ -286,7 +274,6 @@ func (c *Controller) Recover() {
 		c.dedupEntries -= len(cl.dedup)
 		cl.dedup = make(map[packet.DedupKey]struct{}, c.cfg.DedupCapacity)
 		cl.dedupFIFO = nil
-		cl.lastBest = -1
 		cl.lastSwitch = 0
 		cl.nextIndex = 0
 	}

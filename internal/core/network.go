@@ -244,6 +244,9 @@ func Build(s Scenario) (*Network, error) {
 			// settings in s.Controller win over the defaults).
 			ctlCfg = ctlCfg.WithHealth()
 		}
+		if s.Selector != nil {
+			ctlCfg.Selector = *s.Selector
+		}
 		if nDom > 1 {
 			// Sharded controller tier (DESIGN.md §13): one Domain per
 			// contiguous AP block, a shared city table, and a Tier routing

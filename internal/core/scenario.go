@@ -12,6 +12,7 @@ import (
 	"wgtt/internal/federation"
 	"wgtt/internal/mobility"
 	"wgtt/internal/radio"
+	"wgtt/internal/selector"
 	"wgtt/internal/sim"
 )
 
@@ -61,6 +62,10 @@ type Scenario struct {
 	Radio *radio.Params
 	// Controller overrides the WGTT controller config when non-nil.
 	Controller *controller.Config
+	// Selector overrides the AP-selection policy (DESIGN.md §15) when
+	// non-nil. The zero policy is §3.1.1 windowed-median; setting this on
+	// top of Controller replaces only the Selector sub-config.
+	Selector *selector.Config
 	// BackhaulLatency is the one-way Ethernet latency (default 200 µs).
 	BackhaulLatency sim.Time
 

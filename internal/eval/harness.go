@@ -11,6 +11,7 @@ import (
 	"wgtt/internal/controller"
 	"wgtt/internal/core"
 	"wgtt/internal/metrics"
+	"wgtt/internal/selector"
 	"wgtt/internal/sim"
 )
 
@@ -30,6 +31,11 @@ type Options struct {
 	// experiment (registries are not safe to share across workers) and
 	// return the per-experiment snapshots on RunOutput.Metrics.
 	CollectMetrics bool
+	// Selector, when non-nil, overrides the AP-selection policy
+	// (DESIGN.md §15) in every scenario an experiment builds. nil keeps
+	// the §3.1.1 windowed-median default, preserving the byte-identical
+	// reference output.
+	Selector *selector.Config
 }
 
 // DefaultOptions runs the full experiment.
@@ -55,6 +61,9 @@ func throughput(bytes uint64, dur sim.Time) float64 {
 // build constructs the scenario's network, wiring it into opt.Metrics when
 // metrics collection is enabled.
 func (opt Options) build(s core.Scenario) (*core.Network, error) {
+	if opt.Selector != nil && s.Selector == nil {
+		s.Selector = opt.Selector
+	}
 	n, err := core.Build(s)
 	if err != nil {
 		return nil, err

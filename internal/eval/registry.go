@@ -74,6 +74,8 @@ func Experiments() []Experiment {
 			func(o Options) (Result, error) { return ExtResilience(o) }},
 		{"ext-federation", "Extension (§13): sharded controller tier and inter-controller handoff",
 			func(o Options) (Result, error) { return ExtFederation(o) }},
+		{"ext-selector", "Extension (§15): AP-selection policy ablation",
+			func(o Options) (Result, error) { return ExtSelector(o) }},
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"wgtt/internal/federation"
 	"wgtt/internal/metrics"
 	"wgtt/internal/packet"
+	"wgtt/internal/selector"
 	wrt "wgtt/internal/runtime"
 	"wgtt/internal/sim"
 )
@@ -411,5 +412,63 @@ func TestFederationMetrics(t *testing.T) {
 	}
 	if handoffSpans != 1 || fedSwitchSpans != 1 {
 		t.Errorf("spans: handoff=%d fed-switch=%d, want 1/1", handoffSpans, fedSwitchSpans)
+	}
+}
+
+// A handoff must carry the client's selection evidence whichever policy
+// the domains run (DESIGN.md §15): all policies share the median-window
+// evidence store, so the commit's quantized medians seed the adopter's
+// selector and the handoff completes identically under each. Asserts, per
+// policy: the adoption happens, the adopter runs the policy, and its
+// selector holds warm evidence for the target AP immediately after the
+// cross-domain switch.
+func TestHandoffCarriesSelectorStateAllPolicies(t *testing.T) {
+	for _, pol := range selector.Policies() {
+		t.Run(string(pol), func(t *testing.T) {
+			cfg := quickConfig()
+			cfg.Controller.Selector.Policy = pol
+			h := newFedHarness(t, 2, 2, cfg)
+			client := packet.ClientMAC(1)
+			if err := h.tier.RegisterClient(client, packet.ClientIP(1), 0); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 80 && h.doms[1].Stats.CrossSwitches == 0; i++ {
+				h.feedCSI(client, 0, 6)
+				h.feedCSI(client, 2, 22)
+				h.run(2 * sim.Millisecond)
+			}
+			if h.tier.Owner(client) != 1 {
+				t.Fatalf("owner = %d, want domain 1 (policy %s)", h.tier.Owner(client), pol)
+			}
+			adopter := h.doms[1].Controller()
+			if got := adopter.SelectionPolicy(); got != pol {
+				t.Fatalf("adopter policy = %s, want %s", got, pol)
+			}
+			// Local AP 0 of domain 1 is global AP 2 — the handoff target.
+			// The adopter's selector must already hold usable evidence for
+			// it (commit seeding plus relayed reports), not start blind.
+			med, ok := adopter.MedianESNR(client, 0)
+			if !ok || med < 15 {
+				t.Fatalf("adopter median for target AP = %.1f, ok=%v — selector state did not survive the handoff", med, ok)
+			}
+			if got := h.tier.ServingAP(client); got != 2 {
+				t.Fatalf("serving AP = %d, want global 2", got)
+			}
+			// Keep traffic flowing past the post-adoption hysteresis dwell:
+			// the adopter's policy must evaluate the client (not just hold
+			// it), and the tier-wide stats must sum the policy counters
+			// from both domains' controllers.
+			for i := 0; i < 20; i++ {
+				h.feedCSI(client, 2, 22)
+				h.run(3 * sim.Millisecond)
+			}
+			ts := h.tier.Stats()
+			if ts.Ctl.SelectionDecisions == 0 {
+				t.Fatalf("tier stats: selection decisions = 0, want > 0")
+			}
+			if pol == selector.GlobalAssignPolicy && ts.Ctl.AssignmentRounds == 0 {
+				t.Fatalf("tier stats: assignment rounds = 0 under global-assign, want > 0")
+			}
+		})
 	}
 }

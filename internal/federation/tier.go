@@ -141,6 +141,9 @@ func (t *Tier) Stats() TierStats {
 		ts.Ctl.ForcedSwitches += c.ForcedSwitches
 		ts.Ctl.ForcedStartRetransmits += c.ForcedStartRetransmits
 		ts.Ctl.CtlDownlinkDropped += c.CtlDownlinkDropped
+		ts.Ctl.SelectionDecisions += c.SelectionDecisions
+		ts.Ctl.PredictiveEarlySwitches += c.PredictiveEarlySwitches
+		ts.Ctl.AssignmentRounds += c.AssignmentRounds
 	}
 	return ts
 }

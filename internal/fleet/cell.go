@@ -86,6 +86,7 @@ func RunCell(cfg Config, cell int) (CellResult, error) {
 		APPositions: positions,
 		Domains:     cfg.Domains,
 		Chaos:       cfg.Chaos,
+		Selector:    cfg.Selector,
 	}
 	for _, v := range plan.Vehicles {
 		// Arrivals are approaching traffic: each vehicle starts far enough

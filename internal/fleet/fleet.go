@@ -20,6 +20,7 @@ import (
 
 	"wgtt/internal/chaos"
 	"wgtt/internal/mobility"
+	"wgtt/internal/selector"
 	"wgtt/internal/sim"
 )
 
@@ -87,6 +88,12 @@ type Config struct {
 	// contract: reports are byte-identical for any worker count. nil
 	// disables injection and leaves the report format untouched.
 	Chaos *chaos.Config
+
+	// Selector picks the AP-selection policy every cell's controller runs
+	// (DESIGN.md §15). nil keeps the §3.1.1 windowed-median default; the
+	// policy is pure and deterministic, so any choice preserves the
+	// byte-identical determinism contract.
+	Selector *selector.Config
 }
 
 // minHeadwayS is the minimum inter-arrival gap in seconds — the

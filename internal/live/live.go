@@ -25,6 +25,7 @@ import (
 	"wgtt/internal/federation"
 	"wgtt/internal/packet"
 	"wgtt/internal/runtime"
+	"wgtt/internal/selector"
 	"wgtt/internal/sim"
 )
 
@@ -91,8 +92,10 @@ func Table(endpoints []string) map[packet.IPv4Addr]string {
 // RunController drives the controller node until one switch completes or
 // timeout elapses, and returns the completed switch record. conn is the
 // node's pre-bound socket; table maps every OTHER node's virtual address to
-// its endpoint. numAPs is the fleet size; the client starts on AP 0.
-func RunController(conn *net.UDPConn, table map[packet.IPv4Addr]string, numAPs int, timeout sim.Time) (controller.SwitchRecord, error) {
+// its endpoint. numAPs is the fleet size; the client starts on AP 0. pol
+// selects the AP-selection policy (DESIGN.md §15); "" runs the default
+// §3.1.1 windowed-median rule.
+func RunController(conn *net.UDPConn, table map[packet.IPv4Addr]string, numAPs int, timeout sim.Time, pol selector.Policy) (controller.SwitchRecord, error) {
 	clk := runtime.NewWall()
 	fab, err := udp.New(clk, conn, table)
 	if err != nil {
@@ -102,7 +105,9 @@ func RunController(conn *net.UDPConn, table map[packet.IPv4Addr]string, numAPs i
 	for i := range infos {
 		infos[i] = controller.APInfo{ID: i, IP: packet.APIP(i), MAC: packet.APMAC(i)}
 	}
-	ctl := controller.New(ControllerConfig(), clk, fab, infos)
+	cfg := ControllerConfig()
+	cfg.Selector.Policy = pol
+	ctl := controller.New(cfg, clk, fab, infos)
 	ctl.RegisterClient(Client, ClientIP, 0)
 
 	var (

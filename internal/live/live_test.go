@@ -57,7 +57,7 @@ func TestThreeNodeSwitchOverLoopback(t *testing.T) {
 		}(i)
 	}
 
-	rec, err := RunController(conns[0], tableFor(packet.ControllerIP), 2, 2*sim.Second)
+	rec, err := RunController(conns[0], tableFor(packet.ControllerIP), 2, 2*sim.Second, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,6 +23,17 @@ const CauseAPFailure = "ap-failure"
 // the client onto its own domain's AP.
 const CauseDomainHandoff = "domain-handoff"
 
+// CausePredictedCollapse marks an early switch fired by the Predictive
+// selection policy (DESIGN.md §15): the serving AP's fitted ESNR
+// trajectory was falling and a challenger was predicted to be better at
+// the forecast horizon, before the §3.1.1 median rule would have moved.
+const CausePredictedCollapse = "predicted-collapse"
+
+// CauseGlobalAssign marks a switch commanded by the GlobalAssign selection
+// policy's fleet-wide assignment round (DESIGN.md §15): the client moves to
+// the AP the budgeted assignment gave it, not to its own greedy argmax.
+const CauseGlobalAssign = "global-assign"
+
 // SwitchSpan traces one execution of the §3.1.2 switching protocol, from
 // the controller's first stop(c) transmission to the ack that completes
 // the handover. Timestamps are simulated nanoseconds; a zero mark means

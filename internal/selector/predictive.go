@@ -1,0 +1,86 @@
+package selector
+
+import (
+	"wgtt/internal/metrics"
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+// Predictive is the trajectory-forecasting policy (DESIGN.md §15; the
+// handover-prediction idea of arXiv 2111.13879 reduced to a linear model):
+// alongside each §3.1.1 median window it keeps a longer fitting window per
+// (client, AP) link and extrapolates a least-squares line Horizon into the
+// future. Whenever the median rule would stay put but the serving AP's
+// ESNR is falling, it switches early to the challenger predicted to be
+// best at the horizon — cutting the lag between the ground-truth best AP
+// changing and the client actually moving, at the cost of occasionally
+// jumping before the fade it predicted materializes.
+//
+// The base median rule still runs first and wins when it fires: Predictive
+// only adds switches, never suppresses one, so its worst case degrades to
+// WindowedMedian plus early (possibly premature) moves.
+type Predictive struct {
+	base
+	cfg Config
+}
+
+// Policy implements Selector.
+func (s *Predictive) Policy() Policy { return PredictivePolicy }
+
+// Decide implements Selector: the §3.1.1 rule first, then the early-switch
+// forecast when the median rule stays put.
+func (s *Predictive) Decide(mac packet.MACAddr, serving int, now sim.Time, alive func(int) bool) Decision {
+	cl := s.clients[mac]
+	if cl == nil {
+		return stay()
+	}
+	d := s.decideMedian(cl, serving, now, alive)
+	if d.Target != -1 {
+		return d // the base rule already switches; nothing to anticipate
+	}
+	if !alive(serving) {
+		return d // failover territory, not forecasting
+	}
+	horizon := now + s.cfg.Horizon
+	servSlope, servPred, ok := cl.hist[serving].fit(now, horizon)
+	if !ok || servSlope >= 0 {
+		return d // serving link steady or improving — no collapse to beat
+	}
+	if servPred >= s.cfg.CollapseDB {
+		// Falling but still predicted usable at the horizon: a premature
+		// jump would trade a working link for a forecast. Wait.
+		return d
+	}
+	// Find the challenger with the best predicted ESNR at the horizon,
+	// under the same evidence gates the median rule applies: enough fresh
+	// in-window samples and a usable current median.
+	best, bestPred := -1, 0.0
+	for id := range cl.windows {
+		if id == serving || !alive(id) {
+			continue
+		}
+		med, ok := cl.windows[id].median(now)
+		if !ok || cl.windows[id].size() < s.p.MinSamples {
+			continue
+		}
+		if med < s.p.MinSwitchESNRdB {
+			continue
+		}
+		pred := med
+		if _, p, ok := cl.hist[id].fit(now, horizon); ok {
+			pred = p
+		}
+		if best == -1 || pred > bestPred {
+			best, bestPred = id, pred
+		}
+	}
+	if best == -1 || bestPred < servPred+s.cfg.PredictMarginDB {
+		return d
+	}
+	d.Target = best
+	d.Cause = metrics.CausePredictedCollapse
+	d.FromMetric = servPred
+	d.ToMetric = bestPred
+	d.Early = true
+	return d
+}

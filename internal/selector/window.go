@@ -1,10 +1,4 @@
-// Package controller implements the WGTT controller (§3): per-(client, AP)
-// sliding windows of ESNR readings computed from forwarded CSI, the
-// maximal-median AP selection rule, the stop/start/ack switching state
-// machine with its 30 ms retransmission timeout and single-outstanding-
-// switch constraint, downlink fan-out into every nearby AP's cyclic queue,
-// and uplink de-duplication keyed by (source IP, IP ID).
-package controller
+package selector
 
 import (
 	"sort"
@@ -13,7 +7,9 @@ import (
 )
 
 // esnrWindow is a time-bounded deque of ESNR readings for one client-AP
-// link: the short-term history E(a) of §3.1.1.
+// link: the short-term history E(a) of §3.1.1. It lives here, with the
+// selection policies, because the window *is* the evidence every policy
+// decides on — the controller only routes CSI into it (selector.go).
 //
 // Every CSI report triggers a median query (the selection rule re-evaluates
 // on each report), so the window keeps an incrementally maintained sorted
@@ -98,3 +94,34 @@ func (w *esnrWindow) lastHeard() (sim.Time, bool) {
 
 // size returns the number of buffered readings.
 func (w *esnrWindow) size() int { return len(w.at) - w.head }
+
+// fit computes the least-squares line through the in-window readings
+// (Predictive's trajectory model): slope in dB/s and the predicted ESNR at
+// the reference time ref. ok is false with fewer than two samples or a
+// degenerate time spread. Evicts first, like median.
+func (w *esnrWindow) fit(now sim.Time, ref sim.Time) (slope, predicted float64, ok bool) {
+	w.evict(now)
+	n := w.size()
+	if n < 2 {
+		return 0, 0, false
+	}
+	t0 := w.at[w.head]
+	var sx, sy float64
+	for i := w.head; i < len(w.at); i++ {
+		sx += (w.at[i] - t0).Seconds()
+		sy += w.val[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy float64
+	for i := w.head; i < len(w.at); i++ {
+		dx := (w.at[i] - t0).Seconds() - mx
+		sxx += dx * dx
+		sxy += dx * (w.val[i] - my)
+	}
+	if sxx == 0 {
+		return 0, 0, false
+	}
+	slope = sxy / sxx
+	predicted = my + slope*((ref-t0).Seconds()-mx)
+	return slope, predicted, true
+}

@@ -1,4 +1,4 @@
-package controller
+package selector
 
 import (
 	"math/rand/v2"
@@ -113,5 +113,102 @@ func TestWindowZeroAllocSteadyState(t *testing.T) {
 		}
 	}); avg != 0 {
 		t.Errorf("steady-state push+median allocates %.2f times per sample, want 0", avg)
+	}
+}
+
+func TestWindowMedianAndEviction(t *testing.T) {
+	w := newWindow(10 * sim.Millisecond)
+	if _, ok := w.median(0); ok {
+		t.Error("empty window reported a median")
+	}
+	w.push(1*sim.Millisecond, 10)
+	w.push(2*sim.Millisecond, 30)
+	w.push(3*sim.Millisecond, 20)
+	med, ok := w.median(3 * sim.Millisecond)
+	if !ok || med != 20 {
+		t.Errorf("median = %v, %v", med, ok)
+	}
+	// Paper's upper median for even counts: sorted[n/2].
+	w.push(4*sim.Millisecond, 40)
+	med, _ = w.median(4 * sim.Millisecond)
+	if med != 30 {
+		t.Errorf("even-count median = %v, want 30 (upper)", med)
+	}
+	// Everything slides out after 10 ms.
+	if _, ok := w.median(20 * sim.Millisecond); ok {
+		t.Error("stale window still reported a median")
+	}
+	if w.size() != 0 {
+		t.Errorf("window not evicted, size=%d", w.size())
+	}
+}
+
+func TestWindowLastHeard(t *testing.T) {
+	w := newWindow(10 * sim.Millisecond)
+	if _, ok := w.lastHeard(); ok {
+		t.Error("empty window has lastHeard")
+	}
+	w.push(5*sim.Millisecond, 1)
+	at, ok := w.lastHeard()
+	if !ok || at != 5*sim.Millisecond {
+		t.Errorf("lastHeard = %v, %v", at, ok)
+	}
+}
+
+// Property: the window median matches a sort-based reference for random
+// sample sets (upper median at even counts, like the paper's e_{L/2}).
+func TestWindowMedianMatchesReference(t *testing.T) {
+	rnd := sim.NewRNG(77).Stream("median")
+	for trial := 0; trial < 200; trial++ {
+		w := newWindow(sim.Second)
+		n := 1 + rnd.IntN(40)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rnd.Float64()*40 - 10
+			w.push(sim.Time(i)*sim.Millisecond, vals[i])
+		}
+		got, ok := w.median(sim.Time(n) * sim.Millisecond)
+		if !ok {
+			t.Fatal("median missing")
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		if want := sorted[n/2]; got != want {
+			t.Fatalf("median = %v, want %v (n=%d)", got, want, n)
+		}
+	}
+}
+
+// The least-squares fit must recover an exact linear ramp's slope and
+// extrapolate it to the horizon.
+func TestWindowFitLinearRamp(t *testing.T) {
+	w := newWindow(100 * sim.Millisecond)
+	// ESNR falling 20 dB/s: y = 30 - 20 t.
+	for i := 0; i <= 10; i++ {
+		at := sim.Time(i) * 5 * sim.Millisecond
+		w.push(at, 30-20*at.Seconds())
+	}
+	now := 50 * sim.Millisecond
+	ref := now + 50*sim.Millisecond
+	slope, pred, ok := w.fit(now, ref)
+	if !ok {
+		t.Fatal("fit failed on 11 samples")
+	}
+	if slope < -20.01 || slope > -19.99 {
+		t.Errorf("slope = %v dB/s, want -20", slope)
+	}
+	want := 30 - 20*ref.Seconds()
+	if pred < want-0.01 || pred > want+0.01 {
+		t.Errorf("predicted = %v at %v, want %v", pred, ref, want)
+	}
+	// Degenerate cases: one sample, and all samples at one instant.
+	w2 := newWindow(100 * sim.Millisecond)
+	w2.push(sim.Millisecond, 5)
+	if _, _, ok := w2.fit(sim.Millisecond, 2*sim.Millisecond); ok {
+		t.Error("fit succeeded with one sample")
+	}
+	w2.push(sim.Millisecond, 7)
+	if _, _, ok := w2.fit(sim.Millisecond, 2*sim.Millisecond); ok {
+		t.Error("fit succeeded with zero time spread")
 	}
 }
