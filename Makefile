@@ -6,11 +6,12 @@
 GO ?= go
 
 RACE_PKGS = ./internal/fleet ./internal/eval ./internal/trace ./internal/stats \
-	./internal/runtime ./internal/backhaul/udp ./internal/live ./internal/federation
+	./internal/runtime ./internal/backhaul/udp ./internal/live ./internal/federation \
+	./internal/urban
 
-.PHONY: check vet build test race bench bench-smoke fleet-determinism docs-check lint chaos-smoke live-smoke federation-smoke fanout-smoke selector-smoke fuzz-smoke
+.PHONY: check vet build test race bench bench-smoke fleet-determinism docs-check lint chaos-smoke live-smoke federation-smoke fanout-smoke selector-smoke urban-smoke fuzz-smoke
 
-check: vet lint build test race bench-smoke chaos-smoke live-smoke federation-smoke fanout-smoke selector-smoke fuzz-smoke docs-check
+check: vet lint build test race bench-smoke chaos-smoke live-smoke federation-smoke fanout-smoke selector-smoke urban-smoke fuzz-smoke docs-check
 
 # Static analysis beyond vet. The tools are optional — not every build
 # environment ships them — so each is gated on availability rather than
@@ -41,7 +42,7 @@ race:
 
 # Hot-path packages with microbenchmarks and AllocsPerRun assertions.
 BENCH_PKGS = ./internal/sim ./internal/radio ./internal/phy ./internal/csi ./internal/controller ./internal/selector \
-	./internal/metrics ./internal/backhaul ./internal/backhaul/udp
+	./internal/metrics ./internal/backhaul ./internal/backhaul/udp ./internal/urban
 
 # Fast allocation-regression gate (part of check): every ZeroAlloc
 # assertion plus one iteration of each hot-path microbenchmark and of the
@@ -49,7 +50,7 @@ BENCH_PKGS = ./internal/sim ./internal/radio ./internal/phy ./internal/csi ./int
 # bench fails tier-1 immediately.
 bench-smoke:
 	$(GO) test -run ZeroAlloc $(BENCH_PKGS)
-	$(GO) test -run '^$$' -bench 'GainsDB|ESNR|Median|Engine|BER|Selector' -benchtime 1x -benchmem $(BENCH_PKGS)
+	$(GO) test -run '^$$' -bench 'GainsDB|ESNR|Median|Engine|BER|Selector|Urban' -benchtime 1x -benchmem $(BENCH_PKGS)
 	$(GO) test -run '^$$' -bench '^BenchmarkFanout' -benchtime 1x -benchmem .
 
 # Documentation lint: every internal package's godoc must carry at least one
@@ -129,6 +130,17 @@ selector-smoke:
 		cmp /tmp/sel-$$pol-1.txt /tmp/sel-$$pol-2.txt || exit 1; \
 	done
 	@echo selector-smoke: selection policies deterministic in ablation and CLI
+
+# Urban determinism smoke (part of check, DESIGN.md §16): the same city
+# run twice must print byte-identical summaries — routes, lights, rider
+# seats, the geographic federation binding, and the street-canyon radio
+# are all pure functions of (config, seed).
+urban-smoke:
+	$(GO) build -o /tmp/wgttsim ./cmd/wgttsim
+	/tmp/wgttsim -urban -urban-rows 2 -urban-cols 2 -urban-riders 2 -rate 0.5 -seed 11 > /tmp/urban-run1.txt
+	/tmp/wgttsim -urban -urban-rows 2 -urban-cols 2 -urban-riders 2 -rate 0.5 -seed 11 > /tmp/urban-run2.txt
+	cmp /tmp/urban-run1.txt /tmp/urban-run2.txt
+	@echo urban-smoke: city runs byte-identical
 
 # Wire-codec fuzz smoke (part of check): a short coverage-guided run of
 # FuzzDecode on top of its seed corpus — malformed backhaul bytes must never

@@ -13,6 +13,8 @@
 //	wgtt-fleet -cells 32 -seed 7 -workers 8
 //	wgtt-fleet -cells 4 -aps 16 -arrivals 12 -trace-dir /tmp/fleet
 //	wgtt-fleet -cells 8 -domains 2        # sharded controller tier per cell (DESIGN.md §13)
+//	wgtt-fleet -cells 4 -urban -rate 0.5  # street-grid city cells (DESIGN.md §16)
+//	wgtt-fleet -cells 2 -urban -rate 0.5 -compare-selectors
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"wgtt/internal/profiling"
 	"wgtt/internal/selector"
 	"wgtt/internal/sim"
+	"wgtt/internal/urban"
 )
 
 func main() {
@@ -52,6 +55,15 @@ func main() {
 		chaosMTBF    = flag.Float64("chaos-ap-mtbf", 60, "AP-crash mean time between failures per cell, seconds")
 		selectorFlag = flag.String("selector", "",
 			"AP-selection policy per cell (DESIGN.md §15): windowed-median | predictive | global-assign")
+		urbanOn = flag.Bool("urban", false,
+			"make every cell a street-grid city (DESIGN.md §16) instead of a corridor; "+
+				"-aps/-spacing/-arrivals/-max-vehicles/-tcp-frac are ignored and -rate is per client (try 0.5)")
+		urbanRows    = flag.Int("urban-rows", 0, "city grid rows (0 = default)")
+		urbanCols    = flag.Int("urban-cols", 0, "city grid columns (0 = default)")
+		urbanRiders  = flag.Int("urban-riders", -1, "riders per bus (-1 = default)")
+		urbanDomains = flag.Int("urban-domains", 0, "city federation domains (0 = default)")
+		comparePol   = flag.Bool("compare-selectors", false,
+			"run the whole fleet once per AP-selection policy and print the comparison table")
 		prof = profiling.AddFlags()
 	)
 	flag.Parse()
@@ -107,7 +119,36 @@ func main() {
 		}
 		cfg.Selector = &selector.Config{Policy: pol}
 	}
+	if *urbanOn {
+		ucfg := urban.DefaultConfig()
+		if *urbanRows > 0 {
+			ucfg.Rows = *urbanRows
+		}
+		if *urbanCols > 0 {
+			ucfg.Cols = *urbanCols
+		}
+		if *urbanRiders >= 0 {
+			ucfg.RidersPerBus = *urbanRiders
+		}
+		if *urbanDomains > 0 {
+			ucfg.Domains = *urbanDomains
+		}
+		cfg.Urban = &ucfg
+	}
 	start := time.Now()
+	if *comparePol {
+		pc, err := fleet.ComparePolicies(cfg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleet:", err)
+			stopProf()
+			os.Exit(1)
+		}
+		fmt.Print(pc.Render())
+		fmt.Fprintf(os.Stderr, "%d cells x %d policies in %.1fs with %d workers\n",
+			*cells, len(pc.Outcomes), time.Since(start).Seconds(), *workers)
+		stopProf()
+		return
+	}
 	res, err := fleet.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fleet:", err)

@@ -17,6 +17,7 @@ import (
 	"wgtt/internal/selector"
 	"wgtt/internal/sim"
 	"wgtt/internal/trace"
+	"wgtt/internal/urban"
 )
 
 func main() {
@@ -38,6 +39,17 @@ func main() {
 		chaosDowntime = flag.Float64("chaos-downtime", 2, "AP downtime before restart, seconds")
 		selectorFlag  = flag.String("selector", "",
 			"AP-selection policy (DESIGN.md §15): windowed-median | predictive | global-assign")
+		urbanOn = flag.Bool("urban", false,
+			"run the street-grid city workload (DESIGN.md §16) instead of the corridor; "+
+				"-speed/-clients/-pattern are ignored, and -rate is per client (try 0.5)")
+		urbanRows    = flag.Int("urban-rows", 0, "city grid rows (0 = default)")
+		urbanCols    = flag.Int("urban-cols", 0, "city grid columns (0 = default)")
+		urbanBlock   = flag.Float64("urban-block", 0, "city block edge, meters (0 = default)")
+		urbanBuses   = flag.Int("urban-buses", -1, "bus count (-1 = default)")
+		urbanRiders  = flag.Int("urban-riders", -1, "riders per bus (-1 = default)")
+		urbanCars    = flag.Int("urban-cars", -1, "car count (-1 = default)")
+		urbanPeds    = flag.Int("urban-peds", -1, "pedestrian count (-1 = default)")
+		urbanDomains = flag.Int("urban-domains", 0, "city federation domains (0 = default)")
 	)
 	flag.Parse()
 
@@ -46,9 +58,37 @@ func main() {
 		mode = core.ModeBaseline
 	}
 	var s core.Scenario
-	if *clients <= 1 {
+	switch {
+	case *urbanOn:
+		ucfg := urban.DefaultConfig()
+		if *urbanRows > 0 {
+			ucfg.Rows = *urbanRows
+		}
+		if *urbanCols > 0 {
+			ucfg.Cols = *urbanCols
+		}
+		if *urbanBlock > 0 {
+			ucfg.BlockM = *urbanBlock
+		}
+		if *urbanBuses >= 0 {
+			ucfg.Buses = *urbanBuses
+		}
+		if *urbanRiders >= 0 {
+			ucfg.RidersPerBus = *urbanRiders
+		}
+		if *urbanCars >= 0 {
+			ucfg.Cars = *urbanCars
+		}
+		if *urbanPeds >= 0 {
+			ucfg.Pedestrians = *urbanPeds
+		}
+		if *urbanDomains > 0 {
+			ucfg.Domains = *urbanDomains
+		}
+		s = core.UrbanScenario(mode, ucfg, *seed)
+	case *clients <= 1:
 		s = core.DriveScenario(mode, *speed, *seed)
-	} else {
+	default:
 		pat := mobility.Following
 		switch *pattern {
 		case "parallel":
@@ -58,7 +98,9 @@ func main() {
 		}
 		s = core.MultiClientScenario(mode, pat, *clients, *speed, *seed)
 	}
-	s.Domains = *domains
+	if !*urbanOn {
+		s.Domains = *domains
+	}
 	if *chaosOn {
 		ccfg := chaos.DefaultConfig()
 		ccfg.APCrashMTBF = sim.FromSeconds(*chaosMTBF)
@@ -78,6 +120,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "build:", err)
 		os.Exit(1)
 	}
+	// Urban scenarios expand their AP/client sets inside Build; adopt the
+	// expanded form for the flow setup and the summary below.
+	s = n.Scenario
 	if *metricsOut != "" {
 		n.EnableMetrics()
 	}
@@ -120,8 +165,16 @@ func main() {
 		}
 	}
 
-	fmt.Printf("scenario: %v, %.0f mph, %d client(s), %v, seed %d\n",
-		mode, *speed, len(s.Clients), s.Duration, *seed)
+	if n.Urban != nil {
+		st := n.Urban.Stats
+		fmt.Printf("scenario: %v, %dx%d city (%d street APs), %d client(s), %v, seed %d\n",
+			mode, s.Urban.Rows, s.Urban.Cols, len(n.APPosition), len(s.Clients), s.Duration, *seed)
+		fmt.Printf("city: %d bus(es) / %d riders / %d cars / %d pedestrians, %d turns, %d light stops, %d route crossings\n",
+			st.Buses, st.Riders, st.Cars, st.Pedestrians, st.Turns, st.LightStops, st.RouteCrossings)
+	} else {
+		fmt.Printf("scenario: %v, %.0f mph, %d client(s), %v, seed %d\n",
+			mode, *speed, len(s.Clients), s.Duration, *seed)
+	}
 	for c := range s.Clients {
 		var mbps float64
 		if *proto == "tcp" {
@@ -141,7 +194,7 @@ func main() {
 		if n.Fed != nil {
 			fs := n.FedStats()
 			fmt.Printf("federation: %d domains, %d handoffs (%d offers, %d aborts), %d cross-domain switches\n",
-				*domains, fs.Adoptions, fs.OffersSent, fs.Aborts, fs.CrossSwitches)
+				s.Domains, fs.Adoptions, fs.OffersSent, fs.Aborts, fs.CrossSwitches)
 		}
 	} else {
 		fmt.Printf("baseline: %d handovers\n", len(n.Base.Handovers))

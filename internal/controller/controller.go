@@ -46,6 +46,13 @@ type Config struct {
 	// which stops the controller from thrashing among dead links when the
 	// client leaves coverage entirely.
 	MinSwitchESNRdB float64
+	// CollapseDB, when > 0, lets a switch bypass the hysteresis dwell if
+	// the challenger's figure beats the incumbent's by at least this much.
+	// The Fig. 22 dwell assumes links decay gently; an urban corner turn
+	// (DESIGN.md §16) drops the serving link tens of dB in under a second,
+	// and holding the dwell there is pure outage. 0 — the default — keeps
+	// the dwell absolute, byte-identical to the pre-§16 controller.
+	CollapseDB float64
 	// DedupCapacity bounds the uplink de-duplication hashset.
 	DedupCapacity int
 
@@ -152,6 +159,9 @@ type Stats struct {
 	SelectionDecisions      uint64
 	PredictiveEarlySwitches uint64
 	AssignmentRounds        uint64
+	// CollapseSwitches counts switches that bypassed the hysteresis dwell
+	// through the CollapseDB escape (serving link collapsed mid-dwell).
+	CollapseSwitches uint64
 
 	// AP health monitor & failure recovery (DESIGN.md §11).
 	HealthProbes           uint64 // probes sent to quiet APs
@@ -175,6 +185,8 @@ type ctlMetrics struct {
 	selectionFlips *metrics.Counter
 	// hystSuppressed counts re-evaluations skipped inside the dwell time.
 	hystSuppressed *metrics.Counter
+	// collapseSwitches counts dwell bypasses via the CollapseDB escape.
+	collapseSwitches *metrics.Counter
 	// Selection-policy instruments (DESIGN.md §15): decisions that reached
 	// the selector, Predictive's early switches, GlobalAssign's rounds.
 	selDecisions    *metrics.Counter
@@ -215,30 +227,31 @@ type ctlMetrics struct {
 // run starts). A nil registry leaves recording disabled.
 func (c *Controller) UseMetrics(r *metrics.Registry) {
 	c.met = ctlMetrics{
-		csiReports:      r.Counter("controller", "csi_reports"),
-		windowOcc:       r.Histogram("controller", "window_occupancy", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
-		selectionFlips:  r.Counter("controller", "selection_flips"),
-		hystSuppressed:  r.Counter("controller", "hysteresis_suppressions"),
-		selDecisions:    r.Counter("controller", "selection_decisions"),
-		predictiveEarly: r.Counter("controller", "predictive_early_switches"),
-		assignRounds:    r.Counter("controller", "assignment_rounds"),
-		switchesStarted: r.Counter("controller", "switches_started"),
-		switchesDone:    r.Counter("controller", "switches_done"),
-		stopRetransmits: r.Counter("controller", "stop_retransmits"),
-		dedupHits:       r.Counter("dedup", "hits"),
-		dedupMisses:     r.Counter("dedup", "misses"),
-		dedupSize:       r.Gauge("dedup", "size"),
-		spans:           r.SwitchSpans(),
-		downlinkEncodes: r.Counter("fanout", "downlink_encodes"),
-		downlinkCopies:  r.Counter("fanout", "downlink_copies"),
-		fanoutSetSize:   r.Gauge("fanout", "fanout_set_size"),
-		fanoutDepth:     r.Histogram("fanout", "batch_depth", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
-		healthProbes:    r.Counter("controller", "health_probes"),
-		apsMarkedDead:   r.Counter("controller", "aps_marked_dead"),
-		apsReadmitted:   r.Counter("controller", "aps_readmitted"),
-		forcedSwitches:  r.Counter("controller", "forced_switches"),
-		forcedStartRtx:  r.Counter("controller", "forced_start_retransmits"),
-		recoverySpans:   r.RecoverySpans(),
+		csiReports:       r.Counter("controller", "csi_reports"),
+		windowOcc:        r.Histogram("controller", "window_occupancy", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		selectionFlips:   r.Counter("controller", "selection_flips"),
+		hystSuppressed:   r.Counter("controller", "hysteresis_suppressions"),
+		collapseSwitches: r.Counter("controller", "collapse_switches"),
+		selDecisions:     r.Counter("controller", "selection_decisions"),
+		predictiveEarly:  r.Counter("controller", "predictive_early_switches"),
+		assignRounds:     r.Counter("controller", "assignment_rounds"),
+		switchesStarted:  r.Counter("controller", "switches_started"),
+		switchesDone:     r.Counter("controller", "switches_done"),
+		stopRetransmits:  r.Counter("controller", "stop_retransmits"),
+		dedupHits:        r.Counter("dedup", "hits"),
+		dedupMisses:      r.Counter("dedup", "misses"),
+		dedupSize:        r.Gauge("dedup", "size"),
+		spans:            r.SwitchSpans(),
+		downlinkEncodes:  r.Counter("fanout", "downlink_encodes"),
+		downlinkCopies:   r.Counter("fanout", "downlink_copies"),
+		fanoutSetSize:    r.Gauge("fanout", "fanout_set_size"),
+		fanoutDepth:      r.Histogram("fanout", "batch_depth", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		healthProbes:     r.Counter("controller", "health_probes"),
+		apsMarkedDead:    r.Counter("controller", "aps_marked_dead"),
+		apsReadmitted:    r.Counter("controller", "aps_readmitted"),
+		forcedSwitches:   r.Counter("controller", "forced_switches"),
+		forcedStartRtx:   r.Counter("controller", "forced_start_retransmits"),
+		recoverySpans:    r.RecoverySpans(),
 	}
 }
 
@@ -503,7 +516,8 @@ func (c *Controller) evaluate(cl *clientCtl) {
 		return // a cross-domain handoff owns this client's switching
 	}
 	now := c.clk.Now()
-	if now-cl.lastSwitch < c.cfg.Hysteresis {
+	dwell := now-cl.lastSwitch < c.cfg.Hysteresis
+	if dwell && c.cfg.CollapseDB <= 0 {
 		// Dwell-time suppression: the selection rule would have re-run
 		// here but the Fig. 22 hysteresis holds the serving AP.
 		c.met.hystSuppressed.Inc()
@@ -521,6 +535,16 @@ func (c *Controller) evaluate(cl *clientCtl) {
 	}
 	if d.Target < 0 || d.Target == cl.serving {
 		return
+	}
+	if dwell {
+		// Inside the dwell, only the CollapseDB escape may switch: the
+		// challenger must beat the incumbent by a collapse-scale gap.
+		if d.ToMetric-d.FromMetric < c.cfg.CollapseDB {
+			c.met.hystSuppressed.Inc()
+			return
+		}
+		c.Stats.CollapseSwitches++
+		c.met.collapseSwitches.Inc()
 	}
 	if d.Early {
 		c.Stats.PredictiveEarlySwitches++

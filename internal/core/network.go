@@ -19,6 +19,7 @@ import (
 	"wgtt/internal/runtime"
 	"wgtt/internal/sim"
 	"wgtt/internal/trace"
+	"wgtt/internal/urban"
 )
 
 // SharedBSSID is the single BSSID every WGTT AP presents (§4.3).
@@ -76,10 +77,74 @@ type Network struct {
 	// Chaos is the fault injector, armed by Build when Scenario.Chaos is
 	// set (nil otherwise; DESIGN.md §11).
 	Chaos *chaos.Injector
+
+	// Urban is the expanded city plan when Scenario.Urban is set (nil
+	// otherwise; DESIGN.md §16).
+	Urban *urban.Plan
 }
 
 // Build assembles a scenario into a Network.
 func Build(s Scenario) (*Network, error) {
+	var uplan *urban.Plan
+	if s.Urban != nil {
+		// Urban expansion (DESIGN.md §16): the city plan supplies what a
+		// corridor scenario states by hand. Everything below this block is
+		// unaware the scenario came from a map.
+		if len(s.Clients) != 0 || s.APPositions != nil || s.APSubset != nil || len(s.APDomains) != 0 {
+			return nil, fmt.Errorf("core: urban scenarios generate their own APs and clients")
+		}
+		var err error
+		uplan, err = urban.BuildPlan(*s.Urban, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		s.APPositions = uplan.APPositions()
+		s.OmniAPs = true // curbside small cells, not roadside parabolics
+		if s.KeepaliveInterval == 0 {
+			// A city cell carries an order of magnitude more stations than
+			// the corridor testbed; at the paper's 5 ms null-data pace the
+			// probes alone would eat the shared medium. 20 ms keeps several
+			// samples inside the city-scale selection window below while
+			// freeing the airtime for traffic — applied to both systems.
+			s.KeepaliveInterval = 20 * sim.Millisecond
+		}
+		if s.Controller == nil && s.Mode == ModeWGTT {
+			// City switching gates: omni micro-cells have much flatter ESNR
+			// gradients than the corridor's parabolics, so the §3.1.1
+			// zero-margin/40 ms defaults flap between near-equal neighbors.
+			// A longer median window, a real challenger margin, and a street
+			// -scale dwell keep switches meaningful (DESIGN.md §16).
+			cc := controller.DefaultConfig()
+			cc.Window = 100 * sim.Millisecond
+			cc.MedianMarginDB = 6
+			cc.Hysteresis = 500 * sim.Millisecond
+			// Corner turns collapse the serving link tens of dB in well
+			// under the dwell; let those switches through immediately.
+			cc.CollapseDB = 18
+			s.Controller = &cc
+		}
+		if s.Mode == ModeWGTT && s.Urban.Domains > 1 {
+			s.Domains = s.Urban.Domains
+			s.APDomains = uplan.APDomains
+			if s.Federation == nil {
+				// Same story as the controller gates: a slab boundary cuts
+				// straight across city avenues, so riders hover near it for
+				// whole blocks. Wider evidence windows, a real cross-domain
+				// margin, and a block-scale dwell stop ownership ping-pong.
+				fc := federation.DefaultConfig()
+				fc.Window = 100 * sim.Millisecond
+				fc.MarginDB = 6
+				fc.Hysteresis = sim.Second
+				s.Federation = &fc
+			}
+		}
+		for _, c := range uplan.Clients {
+			s.Clients = append(s.Clients, ClientSpec{Trace: c.Trace, SpeedMPH: c.SpeedMPH})
+		}
+		if s.Duration == 0 {
+			s.Duration = uplan.Duration
+		}
+	}
 	if len(s.Clients) == 0 {
 		return nil, fmt.Errorf("core: scenario has no clients")
 	}
@@ -114,6 +179,13 @@ func Build(s Scenario) (*Network, error) {
 	if s.Radio != nil {
 		params = *s.Radio
 	}
+	if uplan != nil && params.Obstruction == nil {
+		// Street-canyon blockage: the city's buildings make radio
+		// visibility follow the streets, so an AP around a corner is tens
+		// of dB down on a same-street one (DESIGN.md §16). Both systems
+		// see the identical map.
+		params.Obstruction = uplan.Graph.BlockageDB
+	}
 	ch := radio.NewChannel(params, rng)
 	var media []*mac.Medium
 	for c := 0; c < nCh; c++ {
@@ -137,6 +209,7 @@ func Build(s Scenario) (*Network, error) {
 		Bh:          bh,
 		downRx:      make(map[int][]func(*packet.Packet, sim.Time)),
 		clientByMAC: make(map[packet.MACAddr]int),
+		Urban:       uplan,
 	}
 
 	// AP positions (possibly a subset of the testbed).
@@ -156,6 +229,32 @@ func Build(s Scenario) (*Network, error) {
 			return nil, fmt.Errorf("core: AP subset index %d out of range", idx)
 		}
 		n.APPosition = append(n.APPosition, all[idx])
+	}
+
+	// Explicit AP→domain binding: validate coverage, then let domainOf
+	// below prefer it over the contiguous-index default.
+	if len(s.APDomains) > 0 {
+		if len(s.APDomains) != len(n.APPosition) {
+			return nil, fmt.Errorf("core: %d AP domain bindings for %d active APs", len(s.APDomains), len(n.APPosition))
+		}
+		occupied := make([]bool, nDom)
+		for i, d := range s.APDomains {
+			if d < 0 || d >= nDom {
+				return nil, fmt.Errorf("core: AP %d bound to domain %d, want [0, %d)", i, d, nDom)
+			}
+			occupied[d] = true
+		}
+		for d, ok := range occupied {
+			if !ok {
+				return nil, fmt.Errorf("core: domain %d owns no APs", d)
+			}
+		}
+	}
+	domainOf := func(i int) int {
+		if len(s.APDomains) > 0 {
+			return s.APDomains[i]
+		}
+		return domainOfAP(i, len(n.APPosition), nDom)
 	}
 
 	// Disturbers: with multiple clients, every client scatters the others'
@@ -192,13 +291,17 @@ func Build(s Scenario) (*Network, error) {
 			// direction instead of the parabolic main lobe.
 			antenna = radio.Omni{PeakDBi: 5}
 		}
+		lossDB := float64(apFixedLossDB)
+		if s.Urban != nil {
+			lossDB = urbanAPLossDB
+		}
 		ep := &radio.Endpoint{
 			Name:         cfg.Name,
 			Trace:        mobility.Stationary{At: pos},
 			Antenna:      antenna,
 			BoresightRad: apBoresight,
 			TxPowerDBm:   apTxPowerDBm,
-			ExtraLossDB:  apFixedLossDB,
+			ExtraLossDB:  lossDB,
 		}
 		if err := ch.AddEndpoint(ep); err != nil {
 			return nil, err
@@ -217,7 +320,7 @@ func Build(s Scenario) (*Network, error) {
 		})
 		// Each AP reports to the controller owning its domain; with one
 		// domain that is packet.ControllerIP, unchanged.
-		a := ap.New(cfg, clk, bh, st, packet.DomainControllerIP(domainOfAP(i, len(n.APPosition), nDom)), rng.Stream("ap/"+cfg.Name))
+		a := ap.New(cfg, clk, bh, st, packet.DomainControllerIP(domainOf(i)), rng.Stream("ap/"+cfg.Name))
 		n.APs = append(n.APs, a)
 		infos = append(infos, controller.APInfo{ID: i, IP: cfg.IP, MAC: cfg.MAC})
 		peerIPs = append(peerIPs, cfg.IP)
@@ -262,7 +365,7 @@ func Build(s Scenario) (*Network, error) {
 			city := make([]federation.APAssignment, len(infos))
 			for i, info := range infos {
 				city[i] = federation.APAssignment{
-					ID: i, Domain: domainOfAP(i, len(infos), nDom),
+					ID: i, Domain: domainOf(i),
 					IP: info.IP, MAC: info.MAC,
 				}
 			}
@@ -428,6 +531,22 @@ func (n *Network) EnableMetricsInto(r *metrics.Registry) *metrics.Registry {
 	}
 	if n.Chaos != nil {
 		n.Chaos.UseMetrics(r)
+	}
+	if n.Urban != nil {
+		// Urban workload shape (DESIGN.md §16): planned quantities, recorded
+		// once so fleet/eval merges report the generated city truthfully.
+		st := n.Urban.Stats
+		r.Counter("urban", "turns").Add(uint64(st.Turns))
+		r.Counter("urban", "light_stops").Add(uint64(st.LightStops))
+		r.Counter("urban", "route_crossings").Add(uint64(st.RouteCrossings))
+		r.Counter("urban", "buses").Add(uint64(st.Buses))
+		r.Counter("urban", "riders").Add(uint64(st.Riders))
+		r.Counter("urban", "cars").Add(uint64(st.Cars))
+		r.Counter("urban", "pedestrians").Add(uint64(st.Pedestrians))
+		h := r.Histogram("urban", "riders_per_bus", []float64{0, 5, 10, 20, 40, 80})
+		for _, k := range st.RidersPerBus {
+			h.Observe(float64(k))
+		}
 	}
 	return r
 }

@@ -14,6 +14,7 @@ import (
 	"wgtt/internal/radio"
 	"wgtt/internal/selector"
 	"wgtt/internal/sim"
+	"wgtt/internal/urban"
 )
 
 // Mode selects the system under test.
@@ -117,6 +118,28 @@ type Scenario struct {
 	// default — leaves the network untouched and byte-identical to a build
 	// without the chaos engine. WGTT mode only.
 	Chaos *chaos.Config
+	// Urban switches the scenario to the street-grid city workload
+	// (DESIGN.md §16): Build expands the config into AP positions along
+	// every street (omni small cells), routed vehicle/bus/pedestrian
+	// clients, the scenario duration, and — in WGTT mode with
+	// Urban.Domains > 1 — the geographic federation binding via APDomains.
+	// Mutually exclusive with hand-set APPositions/APSubset/Clients. nil —
+	// the default — leaves non-urban scenarios byte-identical to builds
+	// without the urban subsystem.
+	Urban *urban.Config
+	// APDomains explicitly binds each active AP to a federation domain,
+	// overriding the default contiguous-index split. Must cover every
+	// active AP with every domain in [0, Domains) owning at least one AP.
+	// The urban expansion fills this from the city partition.
+	APDomains []int
+}
+
+// UrbanScenario builds a street-grid city scenario (DESIGN.md §16) under
+// the given mode. Baseline mode runs the identical city — same graph,
+// same APs, same traces — with the federation binding ignored, so the two
+// systems compare on one map.
+func UrbanScenario(mode Mode, cfg urban.Config, seed uint64) Scenario {
+	return Scenario{Mode: mode, Seed: seed, Urban: &cfg}
 }
 
 // DriveScenario is a convenience builder: one client driving the full
@@ -166,6 +189,9 @@ const (
 	apTxPowerDBm     = 17
 	clientTxPowerDBm = 15
 	apFixedLossDB    = 24 // splitter + cabling + window penetration
+	// Urban curbside small cells skip the testbed's splitter/window chain —
+	// a pole-mount install keeps only a short cable run (DESIGN.md §16).
+	urbanAPLossDB = 6
 )
 
 // nearestAP returns the index (within the active set) of the AP closest to

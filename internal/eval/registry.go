@@ -76,6 +76,8 @@ func Experiments() []Experiment {
 			func(o Options) (Result, error) { return ExtFederation(o) }},
 		{"ext-selector", "Extension (§15): AP-selection policy ablation",
 			func(o Options) (Result, error) { return ExtSelector(o) }},
+		{"ext-urban", "Extension (§16): urban street-grid city with bus riders",
+			func(o Options) (Result, error) { return ExtUrban(o) }},
 	}
 }
 

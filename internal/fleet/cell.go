@@ -68,6 +68,16 @@ type CellResult struct {
 	APsMarkedDead  uint64
 	APsReadmitted  uint64
 	ForcedSwitches uint64
+
+	// Urban workload shape, populated only when cfg.Urban is set
+	// (DESIGN.md §16): what the city planner generated for this cell.
+	Turns            uint64
+	LightStops       uint64
+	RouteCrossings   uint64
+	UrbanBuses       int
+	UrbanRiders      int
+	UrbanCars        int
+	UrbanPedestrians int
 }
 
 // RunCell plans, builds, and runs one corridor cell to completion. It is
@@ -76,6 +86,9 @@ type CellResult struct {
 func RunCell(cfg Config, cell int) (CellResult, error) {
 	cfg = cfg.withDefaults()
 	plan := PlanCell(cfg, cell)
+	if cfg.Urban != nil {
+		return runUrbanCell(cfg, cell, plan)
+	}
 
 	positions := mobility.DenseArray(cfg.APsPerCell, 5, cfg.SpacingM)
 	minX, _ := mobility.ArraySpan(positions)

@@ -22,6 +22,7 @@ import (
 	"wgtt/internal/mobility"
 	"wgtt/internal/selector"
 	"wgtt/internal/sim"
+	"wgtt/internal/urban"
 )
 
 // Config describes a fleet deployment.
@@ -94,6 +95,25 @@ type Config struct {
 	// policy is pure and deterministic, so any choice preserves the
 	// byte-identical determinism contract.
 	Selector *selector.Config
+
+	// Urban switches every cell from a straight corridor to a street-grid
+	// city (DESIGN.md §16): the cell's APs line its streets, and its
+	// traffic — buses with rider groups, routed cars, pedestrians — comes
+	// from the urban planner instead of the Poisson corridor arrivals.
+	// Each cell draws its own city from its (fleet seed, cell index) seed.
+	// nil keeps corridor cells and the report byte-identical to pre-urban
+	// builds.
+	Urban *urban.Config
+}
+
+// federatedDomains reports how many controller domains each cell runs: the
+// urban city partition wins when set, else the corridor Domains knob.
+// 0 or 1 means a single controller.
+func (c Config) federatedDomains() int {
+	if c.Urban != nil && c.Urban.Domains > 1 {
+		return c.Urban.Domains
+	}
+	return c.Domains
 }
 
 // minHeadwayS is the minimum inter-arrival gap in seconds — the
@@ -173,6 +193,11 @@ func PlanCell(cfg Config, cell int) CellPlan {
 	plan := CellPlan{
 		Cell: cell,
 		Seed: frng.Stream(fmt.Sprintf("fleet/cell/%d/seed", cell)).Uint64(),
+	}
+	if cfg.Urban != nil {
+		// Urban cells draw their traffic from the city planner under the
+		// cell seed; the corridor arrival process does not apply.
+		return plan
 	}
 	arr := frng.Stream(fmt.Sprintf("fleet/cell/%d/arrivals", cell))
 	lambda := cfg.ArrivalsPerMin / 60 // arrivals per second

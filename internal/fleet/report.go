@@ -85,10 +85,17 @@ func (r *Result) Render() string {
 	}
 
 	fmt.Fprintf(&b, "WGTT fleet deployment report\n")
-	fmt.Fprintf(&b, "cells %d  aps/cell %d  spacing %.1f m  fleet seed %d\n",
-		len(r.Cells), r.Cfg.APsPerCell, r.Cfg.SpacingM, r.Cfg.Seed)
-	fmt.Fprintf(&b, "vehicles %d (tcp %d / udp %d)  offered udp %.0f Mb/s\n",
-		vehicles, tcp, udp, r.Cfg.UDPRateMbps)
+	if u := r.Cfg.Urban; u != nil {
+		fmt.Fprintf(&b, "cells %d  city %dx%d blocks (%.0f m)  fleet seed %d\n",
+			len(r.Cells), u.Rows, u.Cols, u.BlockM, r.Cfg.Seed)
+		fmt.Fprintf(&b, "clients %d  offered udp %.2f Mb/s each\n",
+			vehicles, r.Cfg.UDPRateMbps)
+	} else {
+		fmt.Fprintf(&b, "cells %d  aps/cell %d  spacing %.1f m  fleet seed %d\n",
+			len(r.Cells), r.Cfg.APsPerCell, r.Cfg.SpacingM, r.Cfg.Seed)
+		fmt.Fprintf(&b, "vehicles %d (tcp %d / udp %d)  offered udp %.0f Mb/s\n",
+			vehicles, tcp, udp, r.Cfg.UDPRateMbps)
+	}
 	fmt.Fprintf(&b, "fleet capacity %.2f Mb/s delivered (mean %.2f Mb/s per cell)\n",
 		capacity, capacity/float64(len(r.Cells)))
 	fmt.Fprintf(&b, "switching %d completed (%d stop retransmissions), accuracy mean %.1f%%\n",
@@ -127,7 +134,7 @@ func (r *Result) Render() string {
 	// Federation section, present only for sharded controller tiers so
 	// single-controller reports stay byte-identical to their pre-federation
 	// form.
-	if r.Cfg.Domains > 1 {
+	if nDom := r.Cfg.federatedDomains(); nDom > 1 {
 		var offers, handoffs, aborts, cross uint64
 		for i := range r.Cells {
 			c := &r.Cells[i]
@@ -136,7 +143,7 @@ func (r *Result) Render() string {
 			aborts += c.HandoffAborts
 			cross += c.CrossSwitches
 		}
-		fmt.Fprintf(&b, "\nFederation (%d domains per cell, DESIGN.md §13)\n", r.Cfg.Domains)
+		fmt.Fprintf(&b, "\nFederation (%d domains per cell, DESIGN.md §13)\n", nDom)
 		fmt.Fprintf(&b, "handoff offers %d  adoptions %d  aborts %d  cross-domain switches %d\n",
 			offers, handoffs, aborts, cross)
 		ft := &stats.Table{Header: []string{
@@ -177,6 +184,39 @@ func (r *Result) Render() string {
 				fmt.Sprintf("%d", c.BlackoutDrops))
 		}
 		b.WriteString(rt.String())
+	}
+
+	// Urban section, present only for street-grid city cells so corridor
+	// reports stay byte-identical to their pre-urban form.
+	if r.Cfg.Urban != nil {
+		var turns, lights, crossings uint64
+		var buses, riders, cars, peds int
+		for i := range r.Cells {
+			c := &r.Cells[i]
+			turns += c.Turns
+			lights += c.LightStops
+			crossings += c.RouteCrossings
+			buses += c.UrbanBuses
+			riders += c.UrbanRiders
+			cars += c.UrbanCars
+			peds += c.UrbanPedestrians
+		}
+		fmt.Fprintf(&b, "\nUrban workload (%dx%d grid per cell, DESIGN.md §16)\n",
+			r.Cfg.Urban.Rows, r.Cfg.Urban.Cols)
+		fmt.Fprintf(&b, "buses %d (riders %d)  cars %d  pedestrians %d\n",
+			buses, riders, cars, peds)
+		fmt.Fprintf(&b, "turns %d  light stops %d  inter-cell route crossings %d\n",
+			turns, lights, crossings)
+		ut := &stats.Table{Header: []string{
+			"cell", "buses", "riders", "cars", "peds", "turns", "lights", "crossings"}}
+		for i := range r.Cells {
+			c := &r.Cells[i]
+			ut.AddRow(fmt.Sprintf("%d", c.Cell), fmt.Sprintf("%d", c.UrbanBuses),
+				fmt.Sprintf("%d", c.UrbanRiders), fmt.Sprintf("%d", c.UrbanCars),
+				fmt.Sprintf("%d", c.UrbanPedestrians), fmt.Sprintf("%d", c.Turns),
+				fmt.Sprintf("%d", c.LightStops), fmt.Sprintf("%d", c.RouteCrossings))
+		}
+		b.WriteString(ut.String())
 	}
 	return b.String()
 }

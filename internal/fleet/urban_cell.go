@@ -1,0 +1,147 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wgtt/internal/core"
+	"wgtt/internal/sim"
+	"wgtt/internal/trace"
+)
+
+// runUrbanCell runs one street-grid city cell (DESIGN.md §16). The cell's
+// whole city — graph, AP deployment, bus lines, cars, pedestrians — derives
+// from the (fleet seed, cell index) scenario seed, so urban fleets keep the
+// byte-identical-report determinism contract. Every client carries a CBR
+// downlink UDP flow for the full horizon (riders and pedestrians are
+// receivers too; there is no TCP mix on the city workload).
+func runUrbanCell(cfg Config, cell int, plan CellPlan) (CellResult, error) {
+	s := core.UrbanScenario(core.ModeWGTT, *cfg.Urban, plan.Seed)
+	s.Chaos = cfg.Chaos
+	s.Selector = cfg.Selector
+	n, err := core.Build(s)
+	if err != nil {
+		return CellResult{}, fmt.Errorf("fleet: urban cell %d: %w", cell, err)
+	}
+	if cfg.Metrics {
+		n.EnableMetrics()
+	}
+	dur := n.Scenario.Duration
+
+	res := CellResult{
+		Cell:      cell,
+		Seed:      plan.Seed,
+		Vehicles:  len(n.Clients),
+		DurationS: dur.Seconds(),
+	}
+
+	type flowTap struct {
+		bytes func() uint64
+		loss  func() float64
+	}
+	taps := make([]flowTap, len(n.Clients))
+	for i := range n.Clients {
+		f := n.AddDownlinkUDP(i, cfg.UDPRateMbps, 1400)
+		res.UDPFlows++
+		taps[i] = flowTap{
+			bytes: func() uint64 { return f.Receiver.Bytes },
+			loss:  f.Receiver.LossRate,
+		}
+		f.Sender.Start()
+	}
+
+	// Same switching-accuracy oracle as the corridor cells (Table 2's
+	// methodology on city streets).
+	match, total := 0, 0
+	n.Every(cfg.SamplePeriod, func(at sim.Time) {
+		for ci := range n.Clients {
+			best, bestE := n.BestESNRAP(ci, at)
+			if bestE < 0 {
+				continue
+			}
+			total++
+			if n.ServingAP(ci) == best {
+				match++
+			}
+		}
+	})
+
+	var rec *trace.Recorder
+	if cfg.TraceDir != "" {
+		path := filepath.Join(cfg.TraceDir, fmt.Sprintf("cell-%04d.jsonl", cell))
+		traceFile, err := os.Create(path)
+		if err != nil {
+			return CellResult{}, fmt.Errorf("fleet: urban cell %d trace: %w", cell, err)
+		}
+		defer traceFile.Close()
+		rec = trace.NewRecorder(traceFile)
+		n.AttachRecorder(rec)
+		res.TraceFile = path
+	}
+
+	n.Run()
+
+	var totalBytes uint64
+	for _, tap := range taps {
+		b := tap.bytes()
+		totalBytes += b
+		mbps := 0.0
+		if dur > 0 {
+			mbps = float64(b) * 8 / 1e6 / dur.Seconds()
+		}
+		res.PerVehicleMbps = append(res.PerVehicleMbps, mbps)
+		res.UDPLoss = append(res.UDPLoss, tap.loss())
+	}
+	if dur > 0 {
+		res.AggMbps = float64(totalBytes) * 8 / 1e6 / dur.Seconds()
+	}
+	if total > 0 {
+		res.AccuracyPct = 100 * float64(match) / float64(total)
+	}
+
+	st := n.CtlStats()
+	res.Switches = st.SwitchesDone
+	res.StopRetransmits = st.StopRetransmits
+	res.CSIReports = st.CSIReports
+	res.UplinkUnique = st.UplinkUnique
+	res.UplinkDuplicate = st.UplinkDuplicate
+	res.AirtimePct = 100 * n.Medium.Utilization()
+	if n.Fed != nil {
+		fs := n.FedStats()
+		res.HandoffOffers = fs.OffersSent
+		res.DomainHandoffs = fs.Adoptions
+		res.HandoffAborts = fs.Aborts
+		res.CrossSwitches = fs.CrossSwitches
+	}
+	if n.Chaos != nil {
+		cs := n.Chaos.Stats
+		res.APCrashes = cs.APCrashes
+		res.BurstDrops = cs.BurstDrops
+		res.BlackoutDrops = cs.BlackoutDrops
+		res.APsMarkedDead = st.APsMarkedDead
+		res.APsReadmitted = st.APsReadmitted
+		res.ForcedSwitches = st.ForcedSwitches
+	}
+
+	ust := n.Urban.Stats
+	res.Turns = uint64(ust.Turns)
+	res.LightStops = uint64(ust.LightStops)
+	res.RouteCrossings = uint64(ust.RouteCrossings)
+	res.UrbanBuses = ust.Buses
+	res.UrbanRiders = ust.Riders
+	res.UrbanCars = ust.Cars
+	res.UrbanPedestrians = ust.Pedestrians
+
+	if rec != nil {
+		if err := rec.Flush(); err != nil {
+			return CellResult{}, fmt.Errorf("fleet: urban cell %d trace: %w", cell, err)
+		}
+		res.TraceEvents = rec.N
+	}
+	if n.Metrics != nil {
+		snap := n.Metrics.Snapshot()
+		res.Metrics = &snap
+	}
+	return res, nil
+}

@@ -119,10 +119,75 @@ func TestWaypointTraceErrors(t *testing.T) {
 	}); err == nil {
 		t.Error("unsorted trace accepted")
 	}
+	// Same time, different positions: a teleport has no finite velocity.
 	if _, err := NewWaypointTrace([]Waypoint{
-		{At: sim.Second}, {At: sim.Second},
+		{At: sim.Second, Pos: Point{0, 0}}, {At: sim.Second, Pos: Point{5, 0}},
 	}); err == nil {
-		t.Error("duplicate-time trace accepted")
+		t.Error("teleport trace accepted")
+	}
+}
+
+// Zero-duration segments (duplicate time, same position) are produced by
+// route builders whose dwell at a node rounds to zero — they must be
+// coalesced, never interpolated into a division by zero.
+func TestWaypointZeroDurationSegment(t *testing.T) {
+	w, err := NewWaypointTrace([]Waypoint{
+		{At: 0, Pos: Point{0, 0}},
+		{At: 2 * sim.Second, Pos: Point{20, 0}},
+		{At: 2 * sim.Second, Pos: Point{20, 0}}, // zero-duration dwell
+		{At: 4 * sim.Second, Pos: Point{20, 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []sim.Time{0, sim.Second, 2 * sim.Second,
+		2*sim.Second + sim.Millisecond, 3 * sim.Second, 4 * sim.Second, 5 * sim.Second} {
+		p, v := w.Position(at), w.Velocity(at)
+		for _, f := range []float64{p.X, p.Y, v.X, v.Y, Speed(w, at)} {
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				t.Fatalf("t=%v: non-finite kinematics p=%v v=%v", at, p, v)
+			}
+		}
+	}
+	// Straddling the coalesced point, the velocity is the next leg's.
+	if v := w.Velocity(2 * sim.Second); !almostEqual(v.Y, 5, 1e-9) || !almostEqual(v.X, 0, 1e-9) {
+		t.Errorf("Velocity at coalesced waypoint = %v, want (0,5)", v)
+	}
+}
+
+// Velocity at exact waypoint boundaries: the leg beginning there, not a
+// stale heading from the finished leg; parked at and beyond the last.
+func TestWaypointVelocityAtBoundaries(t *testing.T) {
+	w, err := NewWaypointTrace([]Waypoint{
+		{At: sim.Second, Pos: Point{0, 0}},
+		{At: 3 * sim.Second, Pos: Point{20, 0}},
+		{At: 5 * sim.Second, Pos: Point{20, 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := w.Velocity(sim.Second); !almostEqual(v.X, 10, 1e-9) || v.Y != 0 {
+		t.Errorf("Velocity at first waypoint = %v, want (10,0)", v)
+	}
+	if v := w.Velocity(3 * sim.Second); !almostEqual(v.Y, 5, 1e-9) || !almostEqual(v.X, 0, 1e-9) {
+		t.Errorf("Velocity at interior waypoint = %v, want (0,5)", v)
+	}
+	if v := w.Velocity(5 * sim.Second); v != (Point{}) {
+		t.Errorf("Velocity at last waypoint = %v, want parked", v)
+	}
+	if v := w.Velocity(sim.Second - sim.Millisecond); v != (Point{}) {
+		t.Errorf("Velocity before departure = %v, want parked", v)
+	}
+	// A single-waypoint trace is stationary everywhere.
+	s, err := NewWaypointTrace([]Waypoint{{At: sim.Second, Pos: Point{3, 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Velocity(sim.Second); v != (Point{}) {
+		t.Errorf("single-point Velocity = %v", v)
+	}
+	if Speed(s, 2*sim.Second) != 0 {
+		t.Error("single-point trace has nonzero speed")
 	}
 }
 

@@ -94,22 +94,31 @@ type WaypointTrace struct {
 	points []Waypoint
 }
 
-// NewWaypointTrace builds a trace from waypoints, which must be in strictly
-// increasing time order.
+// NewWaypointTrace builds a trace from waypoints, which must be in
+// non-decreasing time order. Consecutive waypoints that share a timestamp
+// and a position — zero-duration segments, such as a traffic-light dwell
+// that turned out to be zero — are coalesced into one point, so the
+// interpolators never divide by a zero time delta. Same-time waypoints at
+// different positions are rejected: a teleport has no finite velocity.
 func NewWaypointTrace(points []Waypoint) (*WaypointTrace, error) {
 	if len(points) == 0 {
 		return nil, fmt.Errorf("mobility: waypoint trace needs at least one point")
 	}
-	if !sort.SliceIsSorted(points, func(i, j int) bool { return points[i].At < points[j].At }) {
-		return nil, fmt.Errorf("mobility: waypoints must be sorted by time")
-	}
-	for i := 1; i < len(points); i++ {
-		if points[i].At == points[i-1].At {
-			return nil, fmt.Errorf("mobility: duplicate waypoint time %v", points[i].At)
+	cp := make([]Waypoint, 0, len(points))
+	cp = append(cp, points[0])
+	for _, p := range points[1:] {
+		prev := cp[len(cp)-1]
+		if p.At < prev.At {
+			return nil, fmt.Errorf("mobility: waypoints must be sorted by time")
 		}
+		if p.At == prev.At {
+			if p.Pos != prev.Pos {
+				return nil, fmt.Errorf("mobility: two waypoints at %v with different positions (teleport)", p.At)
+			}
+			continue // zero-duration segment: keep one point
+		}
+		cp = append(cp, p)
 	}
-	cp := make([]Waypoint, len(points))
-	copy(cp, points)
 	return &WaypointTrace{points: cp}, nil
 }
 
@@ -129,14 +138,22 @@ func (w *WaypointTrace) Position(t sim.Time) Point {
 	return a.Pos.Add(b.Pos.Sub(a.Pos).Scale(frac))
 }
 
-// Velocity implements Trace.
+// Velocity implements Trace. At a leg boundary — t exactly on a waypoint,
+// including the very first — it reports the velocity of the leg that begins
+// there, never the stale heading of the leg just finished; at and after the
+// last waypoint the client is parked.
 func (w *WaypointTrace) Velocity(t sim.Time) Point {
 	pts := w.points
-	if t <= pts[0].At || t >= pts[len(pts)-1].At {
+	if len(pts) < 2 || t < pts[0].At || t >= pts[len(pts)-1].At {
 		return Point{}
 	}
 	i := sort.Search(len(pts), func(i int) bool { return pts[i].At > t })
 	a, b := pts[i-1], pts[i]
 	dt := (b.At - a.At).Seconds()
+	if dt <= 0 {
+		// Unreachable after constructor coalescing, but a zero-duration
+		// segment must never divide to ±Inf.
+		return Point{}
+	}
 	return b.Pos.Sub(a.Pos).Scale(1 / dt)
 }

@@ -35,6 +35,13 @@ type Params struct {
 	// deterministic links from geometry alone — for controlled tests and
 	// ablations.
 	NoFading bool
+	// Obstruction, when non-nil, adds a deterministic geometry-dependent
+	// blockage loss (dB) between two positions — e.g. the street-canyon
+	// corner diffraction of an urban map, where a link that bends around a
+	// building corner is tens of dB down on a same-street link. It must be
+	// symmetric in its arguments (channel reciprocity) and pure. nil keeps
+	// the open-corridor model byte-identical.
+	Obstruction func(a, b mobility.Point) float64
 }
 
 // DefaultParams returns the testbed channel parameters.

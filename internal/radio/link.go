@@ -61,6 +61,9 @@ func (l *Link) PathGainDB(t sim.Time) float64 {
 	pl := l.params.refLossDB() + 10*l.params.PathLossExponent*math.Log10(math.Max(d, l.params.RefDistanceM)/l.params.RefDistanceM)
 	g := l.A.GainTowardDB(t, pb) + l.B.GainTowardDB(t, pa)
 	loss := l.A.ExtraLossDB + l.B.ExtraLossDB
+	if l.params.Obstruction != nil {
+		loss += l.params.Obstruction(pa, pb)
+	}
 	if l.disturb != nil {
 		loss += l.disturb(t)
 	}
