@@ -7,11 +7,11 @@ GO ?= go
 
 RACE_PKGS = ./internal/fleet ./internal/eval ./internal/trace ./internal/stats \
 	./internal/runtime ./internal/backhaul/udp ./internal/live ./internal/federation \
-	./internal/urban
+	./internal/urban ./internal/core
 
-.PHONY: check vet build test race bench bench-smoke fleet-determinism docs-check lint chaos-smoke live-smoke federation-smoke fanout-smoke selector-smoke urban-smoke fuzz-smoke
+.PHONY: check vet build test race bench bench-smoke fleet-determinism docs-check lint chaos-smoke live-smoke federation-smoke fanout-smoke selector-smoke urban-smoke metro-smoke metro-scale fuzz-smoke
 
-check: vet lint build test race bench-smoke chaos-smoke live-smoke federation-smoke fanout-smoke selector-smoke urban-smoke fuzz-smoke docs-check
+check: vet lint build test race bench-smoke chaos-smoke live-smoke federation-smoke fanout-smoke selector-smoke urban-smoke metro-smoke fuzz-smoke docs-check
 
 # Static analysis beyond vet. The tools are optional — not every build
 # environment ships them — so each is gated on availability rather than
@@ -52,6 +52,7 @@ bench-smoke:
 	$(GO) test -run ZeroAlloc $(BENCH_PKGS)
 	$(GO) test -run '^$$' -bench 'GainsDB|ESNR|Median|Engine|BER|Selector|Urban' -benchtime 1x -benchmem $(BENCH_PKGS)
 	$(GO) test -run '^$$' -bench '^BenchmarkFanout' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench '^BenchmarkMetroEpoch' -benchtime 1x -benchmem ./internal/fleet
 
 # Documentation lint: every internal package's godoc must carry at least one
 # paper-section marker (§) mapping the package to the part of the paper it
@@ -142,6 +143,41 @@ urban-smoke:
 	cmp /tmp/urban-run1.txt /tmp/urban-run2.txt
 	@echo urban-smoke: city runs byte-identical
 
+# Metro determinism smoke (part of check, DESIGN.md §17): one small connected
+# metro — tiles advancing in lockstep epochs with cross-cell client migration
+# at the seams — must print byte-identical reports for 1, 4, and 8 workers,
+# and again on a second 8-worker run. This is the CLI face of the metro's
+# headline contract: the epoch-barrier migration exchange keeps reports a
+# pure function of (flags, seed) no matter how tiles are scheduled.
+METRO_SMOKE_FLAGS = -metro -rate 1 -seed 7 -urban-rows 4 -urban-cols 4 \
+	-urban-riders 3 -urban-cars 1 -urban-peds 1 -urban-duration 20
+metro-smoke:
+	$(GO) build -o /tmp/wgtt-fleet ./cmd/wgtt-fleet
+	/tmp/wgtt-fleet $(METRO_SMOKE_FLAGS) -workers 1 2>/dev/null > /tmp/metro-w1.txt
+	/tmp/wgtt-fleet $(METRO_SMOKE_FLAGS) -workers 4 2>/dev/null > /tmp/metro-w4.txt
+	/tmp/wgtt-fleet $(METRO_SMOKE_FLAGS) -workers 8 2>/dev/null > /tmp/metro-w8.txt
+	cmp /tmp/metro-w1.txt /tmp/metro-w4.txt
+	cmp /tmp/metro-w1.txt /tmp/metro-w8.txt
+	/tmp/wgtt-fleet $(METRO_SMOKE_FLAGS) -workers 8 2>/dev/null > /tmp/metro-w8b.txt
+	cmp /tmp/metro-w8.txt /tmp/metro-w8b.txt
+	@echo metro-smoke: metro reports byte-identical across worker counts
+
+# Slow (minutes, opt-in): the 1,000+-tile metro from the §17 acceptance
+# criteria — a 32x32 tile grid over a 33x33-intersection city — must complete
+# with cross-cell migrations happening (the report's "migrations" line is
+# asserted non-zero). Only tiles that clients actually visit are built, so
+# the run exercises metro *scale* (tiling, planning, epoch barriers over
+# 1,024 cells) without simulating a thousand idle radios.
+metro-scale:
+	$(GO) build -o /tmp/wgtt-fleet ./cmd/wgtt-fleet
+	/tmp/wgtt-fleet -metro -metro-tiles 32x32 -urban-rows 33 -urban-cols 33 \
+		-urban-spacing 60 -urban-duration 30 -urban-riders 4 -urban-cars 2 \
+		-urban-peds 1 -rate 1 -seed 7 -progress 2>/dev/null > /tmp/metro-scale.txt
+	grep -q '^tiles 32x32' /tmp/metro-scale.txt
+	grep '^migrations ' /tmp/metro-scale.txt | awk '{ exit ($$2 > 0) ? 0 : 1 }'
+	@grep '^migrations ' /tmp/metro-scale.txt
+	@echo metro-scale: 1024-tile metro completed with cross-cell migrations
+
 # Wire-codec fuzz smoke (part of check): a short coverage-guided run of
 # FuzzDecode on top of its seed corpus — malformed backhaul bytes must never
 # panic the decoder, and accepted inputs must round-trip stably.
@@ -155,7 +191,9 @@ fuzz-smoke:
 # echoes progress to stderr and exits nonzero if the run printed FAIL.
 bench:
 	$(GO) build -o /tmp/wgtt-benchjson ./cmd/wgtt-benchjson
-	$(GO) test -run '^$$' -bench . -benchmem -timeout 60m . | /tmp/wgtt-benchjson -o BENCH_results.json
+	{ $(GO) test -run '^$$' -bench . -benchmem -timeout 60m . && \
+	  $(GO) test -run '^$$' -bench '^BenchmarkMetroEpoch' -benchmem ./internal/fleet; } \
+		| /tmp/wgtt-benchjson -o BENCH_results.json
 
 # Slow (minutes): the CLI-level determinism check from the fleet engine's
 # acceptance criteria — 32 cells, 1 worker vs 8 workers, byte-identical

@@ -15,6 +15,9 @@
 //	wgtt-fleet -cells 8 -domains 2        # sharded controller tier per cell (DESIGN.md §13)
 //	wgtt-fleet -cells 4 -urban -rate 0.5  # street-grid city cells (DESIGN.md §16)
 //	wgtt-fleet -cells 2 -urban -rate 0.5 -compare-selectors
+//	wgtt-fleet -metro -rate 1             # one connected city, 2x2 metro cells (DESIGN.md §17)
+//	wgtt-fleet -metro -metro-tiles 32x32 -urban-rows 33 -urban-cols 33 \
+//	    -urban-spacing 60 -urban-duration 30 -progress   # 1,024-tile metro
 package main
 
 import (
@@ -58,11 +61,30 @@ func main() {
 		urbanOn = flag.Bool("urban", false,
 			"make every cell a street-grid city (DESIGN.md §16) instead of a corridor; "+
 				"-aps/-spacing/-arrivals/-max-vehicles/-tcp-frac are ignored and -rate is per client (try 0.5)")
-		urbanRows    = flag.Int("urban-rows", 0, "city grid rows (0 = default)")
-		urbanCols    = flag.Int("urban-cols", 0, "city grid columns (0 = default)")
-		urbanRiders  = flag.Int("urban-riders", -1, "riders per bus (-1 = default)")
-		urbanDomains = flag.Int("urban-domains", 0, "city federation domains (0 = default)")
-		comparePol   = flag.Bool("compare-selectors", false,
+		urbanRows     = flag.Int("urban-rows", 0, "city grid rows (0 = default)")
+		urbanCols     = flag.Int("urban-cols", 0, "city grid columns (0 = default)")
+		urbanBlock    = flag.Float64("urban-block", 0, "city block edge length, meters (0 = default)")
+		urbanSpacing  = flag.Float64("urban-spacing", 0, "street AP spacing, meters (0 = default)")
+		urbanBuses    = flag.Int("urban-buses", -1, "buses per city (-1 = default)")
+		urbanRiders   = flag.Int("urban-riders", -1, "riders per bus (-1 = default)")
+		urbanCars     = flag.Int("urban-cars", -1, "routed cars per city (-1 = default)")
+		urbanPeds     = flag.Int("urban-peds", -1, "pedestrians per city (-1 = default)")
+		urbanDuration = flag.Float64("urban-duration", 0, "city horizon cap, seconds (0 = default)")
+		urbanDomains  = flag.Int("urban-domains", 0, "city federation domains (0 = default)")
+		metroOn       = flag.Bool("metro", false,
+			"run one connected city tiled into metro cells with cross-cell client migration "+
+				"(DESIGN.md §17) instead of N independent cells; -cells is ignored, the urban-* "+
+				"flags shape the city, and -rate is per client (try 1)")
+		metroTiles = flag.String("metro-tiles", "2x2", "metro cell grid, RxC")
+		metroEpoch = flag.Float64("metro-epoch-ms", 0,
+			"epoch length between migration barriers, milliseconds (0 = default 500)")
+		metroIsolated = flag.Bool("metro-isolated", false,
+			"cut the tile seams: clients stay in their birth tile for the whole run (the ext-metro ablation)")
+		runID = flag.String("run-id", "",
+			"prefix per-cell trace file names with this ID so concurrent runs can share -trace-dir")
+		progressOn = flag.Bool("progress", false,
+			"report completion progress (cells done, or metro epochs done) on stderr")
+		comparePol = flag.Bool("compare-selectors", false,
 			"run the whole fleet once per AP-selection policy and print the comparison table")
 		prof = profiling.AddFlags()
 	)
@@ -103,7 +125,13 @@ func main() {
 		UDPRateMbps:    *udpRate,
 		Domains:        *domains,
 		TraceDir:       *traceDir,
+		RunID:          *runID,
 		Metrics:        *metricsOut != "",
+	}
+	if *progressOn {
+		cfg.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "progress: %d/%d\n", done, total)
+		}
 	}
 	if *chaosOn {
 		ccfg := chaos.DefaultConfig()
@@ -119,23 +147,82 @@ func main() {
 		}
 		cfg.Selector = &selector.Config{Policy: pol}
 	}
-	if *urbanOn {
-		ucfg := urban.DefaultConfig()
+	applyCityFlags := func(ucfg *urban.Config) {
 		if *urbanRows > 0 {
 			ucfg.Rows = *urbanRows
 		}
 		if *urbanCols > 0 {
 			ucfg.Cols = *urbanCols
 		}
+		if *urbanBlock > 0 {
+			ucfg.BlockM = *urbanBlock
+		}
+		if *urbanSpacing > 0 {
+			ucfg.APSpacingM = *urbanSpacing
+		}
+		if *urbanBuses >= 0 {
+			ucfg.Buses = *urbanBuses
+		}
 		if *urbanRiders >= 0 {
 			ucfg.RidersPerBus = *urbanRiders
+		}
+		if *urbanCars >= 0 {
+			ucfg.Cars = *urbanCars
+		}
+		if *urbanPeds >= 0 {
+			ucfg.Pedestrians = *urbanPeds
+		}
+		if *urbanDuration > 0 {
+			ucfg.MaxDurationS = *urbanDuration
 		}
 		if *urbanDomains > 0 {
 			ucfg.Domains = *urbanDomains
 		}
+	}
+	if *urbanOn {
+		ucfg := urban.DefaultConfig()
+		applyCityFlags(&ucfg)
 		cfg.Urban = &ucfg
 	}
+	if *metroOn {
+		tiles, err := urban.ParseTiling(*metroTiles)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metro-tiles:", err)
+			stopProf()
+			os.Exit(1)
+		}
+		mcfg := urban.DefaultMetroConfig()
+		mcfg.Tiles = tiles
+		applyCityFlags(&mcfg.City)
+		mcfg.City.Domains = 1 // metro tiles are the sharding story
+		cfg.Metro = &mcfg
+		cfg.MetroEpoch = sim.FromSeconds(*metroEpoch / 1000)
+		cfg.MetroIsolated = *metroIsolated
+	}
 	start := time.Now()
+	if *metroOn {
+		res, err := fleet.RunMetro(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleet:", err)
+			stopProf()
+			os.Exit(1)
+		}
+		fmt.Print(res.Render())
+		if *metricsOut != "" && res.Metrics != nil {
+			if err := res.Metrics.WriteFile(*metricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics:", err)
+				stopProf()
+				os.Exit(1)
+			}
+			if *metricsOut != "-" {
+				fmt.Fprintf(os.Stderr, "metrics: metro snapshot -> %s\n", *metricsOut)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "metro %s: %d tiles (%d built) in %.1fs with %d workers\n",
+			res.Tiling, res.Tiling.N(), res.BuiltTiles, time.Since(start).Seconds(), *workers)
+		stopProf()
+		return
+	}
 	if *comparePol {
 		pc, err := fleet.ComparePolicies(cfg, nil)
 		if err != nil {

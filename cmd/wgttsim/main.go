@@ -10,9 +10,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"wgtt/internal/chaos"
 	"wgtt/internal/core"
+	"wgtt/internal/fleet"
 	"wgtt/internal/mobility"
 	"wgtt/internal/selector"
 	"wgtt/internal/sim"
@@ -50,17 +52,15 @@ func main() {
 		urbanCars    = flag.Int("urban-cars", -1, "car count (-1 = default)")
 		urbanPeds    = flag.Int("urban-peds", -1, "pedestrian count (-1 = default)")
 		urbanDomains = flag.Int("urban-domains", 0, "city federation domains (0 = default)")
+		metroOn      = flag.Bool("metro", false,
+			"run the connected-metro workload (DESIGN.md §17): one city tiled into metro cells "+
+				"with cross-cell client migration; the urban-* flags shape the city, "+
+				"-rate is per client (try 1), and all corridor flags are ignored")
+		metroTiles = flag.String("metro-tiles", "2x2", "metro cell grid, RxC")
 	)
 	flag.Parse()
 
-	mode := core.ModeWGTT
-	if *modeFlag == "baseline" {
-		mode = core.ModeBaseline
-	}
-	var s core.Scenario
-	switch {
-	case *urbanOn:
-		ucfg := urban.DefaultConfig()
+	applyCityFlags := func(ucfg *urban.Config) {
 		if *urbanRows > 0 {
 			ucfg.Rows = *urbanRows
 		}
@@ -85,6 +85,21 @@ func main() {
 		if *urbanDomains > 0 {
 			ucfg.Domains = *urbanDomains
 		}
+	}
+	if *metroOn {
+		runMetro(*metroTiles, *seed, *rate, *selectorFlag, *metricsOut, applyCityFlags)
+		return
+	}
+
+	mode := core.ModeWGTT
+	if *modeFlag == "baseline" {
+		mode = core.ModeBaseline
+	}
+	var s core.Scenario
+	switch {
+	case *urbanOn:
+		ucfg := urban.DefaultConfig()
+		applyCityFlags(&ucfg)
 		s = core.UrbanScenario(mode, ucfg, *seed)
 	case *clients <= 1:
 		s = core.DriveScenario(mode, *speed, *seed)
@@ -219,6 +234,53 @@ func main() {
 		}
 		if *metricsOut != "-" {
 			fmt.Printf("metrics: snapshot -> %s\n", *metricsOut)
+		}
+	}
+}
+
+// runMetro runs the §17 connected-metro workload: a single city tiled into
+// metro cells, each its own simulation, advancing in lockstep epochs with
+// clients migrating across tile seams. The report is fleet.MetroResult's —
+// the same one `wgtt-fleet -metro` prints.
+func runMetro(tilesSpec string, seed uint64, rate float64, selectorFlag, metricsOut string,
+	applyCityFlags func(*urban.Config)) {
+	tiles, err := urban.ParseTiling(tilesSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metro-tiles:", err)
+		os.Exit(1)
+	}
+	mcfg := urban.DefaultMetroConfig()
+	mcfg.Tiles = tiles
+	applyCityFlags(&mcfg.City)
+	mcfg.City.Domains = 1 // tiles are the metro's sharding story
+	cfg := fleet.Config{
+		Seed:        seed,
+		Workers:     runtime.GOMAXPROCS(0),
+		UDPRateMbps: rate,
+		Metro:       &mcfg,
+		Metrics:     metricsOut != "",
+	}
+	if selectorFlag != "" {
+		pol, err := selector.ParsePolicy(selectorFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selector:", err)
+			os.Exit(1)
+		}
+		cfg.Selector = &selector.Config{Policy: pol}
+	}
+	res, err := fleet.RunMetro(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metro:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Render())
+	if metricsOut != "" && res.Metrics != nil {
+		if err := res.Metrics.WriteFile(metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+		if metricsOut != "-" {
+			fmt.Printf("metrics: snapshot -> %s\n", metricsOut)
 		}
 	}
 }

@@ -300,6 +300,23 @@ func (a *AP) Associate(client packet.MACAddr, ip packet.IPv4Addr, serving bool) 
 	cs.serving = serving
 }
 
+// AlignQueue positions the client's cyclic-queue cursor at index k and
+// discards any pending retry/drain MPDUs — the cell-handoff analogue of
+// start(c, k). An AP appointed to serve a client admitted from another
+// metro cell (DESIGN.md §17) must resume at the adopted controller's index
+// cursor: its ring may still buffer a bygone stint's fan-out copies, and
+// serving from the stale cursor would retransmit packets the client already
+// received — past the client's TTL-bounded duplicate window.
+func (a *AP) AlignQueue(client packet.MACAddr, k uint16) {
+	cs := a.client(client)
+	cs.nextSend = k
+	cs.head = k
+	cs.haveAny = true
+	cs.retryQ = nil
+	cs.drainQ = nil
+	cs.drainPending = false
+}
+
 // Down reports whether the AP is currently crashed.
 func (a *AP) Down() bool { return a.down }
 

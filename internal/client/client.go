@@ -76,6 +76,13 @@ type Client struct {
 	seen      map[uint16]sim.Time
 	seenSweep sim.Time
 
+	// kaGen invalidates in-flight keepalive timers: each StartKeepalive
+	// bumps it and StopKeepalive bumps it again, so a stale tick closure
+	// notices and dies instead of rescheduling forever. Metro cells need
+	// this — a client's presence in a cell is windowed, and its keepalives
+	// must stop when it migrates out.
+	kaGen uint64
+
 	// OnDownlink receives each unique downlink packet (transport hookup).
 	OnDownlink func(p *packet.Packet, at sim.Time)
 	// OnBeacon observes beacons (RSSI source for the baseline roamer).
@@ -139,8 +146,13 @@ func (c *Client) StartKeepalive(interval sim.Time) {
 	if interval <= 0 {
 		return
 	}
+	c.kaGen++
+	gen := c.kaGen
 	var tick func()
 	tick = func() {
+		if c.kaGen != gen {
+			return
+		}
 		if !c.hasWork() {
 			c.met.keepalives.Inc()
 			c.uplinkQ = append(c.uplinkQ, &packet.Packet{
@@ -157,6 +169,11 @@ func (c *Client) StartKeepalive(interval sim.Time) {
 	}
 	c.eng.After(interval, tick)
 }
+
+// StopKeepalive cancels the keepalive stream started by StartKeepalive.
+// The pending timer still fires once but finds its generation stale and
+// does nothing. Safe to call when no keepalive is running.
+func (c *Client) StopKeepalive() { c.kaGen++ }
 
 // SendUplink queues one packet for uplink transmission.
 func (c *Client) SendUplink(p *packet.Packet) {

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"wgtt/internal/client"
+	"wgtt/internal/federation"
+	"wgtt/internal/mobility"
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+// This file is the cell side of the metro's cross-cell client migration
+// (DESIGN.md §17). A metro cell is a single-domain WGTT network; when a
+// client's route leaves the cell, the fleet's epoch scheduler exports the
+// client's volatile controller state as a §13 DomainHandoffCommit — the
+// same wire message the federation layer moves clients with inside a cell —
+// and the destination cell admits it, completing the bootstrap that Build
+// deferred (ClientSpec.Deferred). Both calls run at an epoch barrier, when
+// every cell's clock sits at exactly the same instant, so they are direct
+// state transfers rather than simulated backhaul traffic; the commit still
+// round-trips through packet.Encode/Decode at the fleet layer, keeping the
+// carried state bounded by what the §13 wire format can express.
+
+// ExportCellHandoff captures a departing client's volatile state — the
+// 12-bit downlink index cursor, the bounded uplink dedup window, and the
+// serving AP's windowed-median ESNR evidence — as a §13 commit, then
+// releases the client: keepalives stop, every AP drops its serving flag,
+// and the controller forgets the client. The TargetAP field is left zero;
+// the admitting cell owns the target-AP decision (its AP namespace is not
+// ours). Single-controller WGTT cells only.
+func (n *Network) ExportCellHandoff(clientID int, handoffID uint32) (*packet.DomainHandoffCommit, error) {
+	if n.Ctl == nil {
+		return nil, fmt.Errorf("core: cell handoff export needs a single-controller WGTT cell")
+	}
+	cl := n.Clients[clientID]
+	mac, ip := cl.Config().MAC, cl.Config().IP
+	serving := n.Ctl.ServingAP(mac)
+	if serving < 0 {
+		return nil, fmt.Errorf("core: client %d is not admitted here", clientID)
+	}
+	commit := &packet.DomainHandoffCommit{
+		HandoffID: handoffID,
+		Client:    mac,
+		ClientIP:  ip,
+		ServingAP: n.APs[serving].Config().IP,
+		NextIndex: n.Ctl.NextDownIndex(mac),
+		DedupKeys: n.Ctl.DedupWindow(mac, packet.MaxHandoffDedupKeys),
+	}
+	if med, ok := n.Ctl.MedianESNR(mac, serving); ok {
+		commit.Evidence = []packet.APESNR{{
+			AP:      n.APs[serving].Config().IP,
+			MedianQ: federation.QuantizeEvidenceDB(med),
+		}}
+	}
+	cl.StopKeepalive()
+	n.Ctl.ReleaseClient(mac)
+	for _, a := range n.APs {
+		a.Associate(mac, ip, false)
+	}
+	return commit, nil
+}
+
+// AdmitCellHandoff installs a client migrating in from another cell: the
+// controller adopts it at entryAP with the carried index cursor and dedup
+// window, the exporter's serving-AP evidence is re-seeded onto entryAP (the
+// best prior the new cell has — its own APs have never heard this client),
+// the AP-side serving flag moves to entryAP, and keepalives start. The
+// client is unfrozen immediately: the admission happens at an epoch barrier,
+// not mid-handshake, so there is no in-flight stop→start to protect.
+func (n *Network) AdmitCellHandoff(clientID, entryAP int, commit *packet.DomainHandoffCommit) error {
+	if n.Ctl == nil {
+		return fmt.Errorf("core: cell handoff admission needs a single-controller WGTT cell")
+	}
+	if entryAP < 0 || entryAP >= len(n.APs) {
+		return fmt.Errorf("core: entry AP %d out of range", entryAP)
+	}
+	cl := n.Clients[clientID]
+	mac, ip := cl.Config().MAC, cl.Config().IP
+	if n.Ctl.ServingAP(mac) >= 0 {
+		return fmt.Errorf("core: client %d is already admitted here", clientID)
+	}
+	n.Ctl.AdoptClient(mac, ip, entryAP, commit.NextIndex, commit.DedupKeys)
+	for _, ev := range commit.Evidence {
+		n.Ctl.SeedESNR(mac, entryAP, federation.DequantizeEvidenceDB(ev.MedianQ))
+	}
+	n.Ctl.SetFrozen(mac, false)
+	for apID, a := range n.APs {
+		a.Associate(mac, ip, apID == entryAP)
+	}
+	// The entry AP serves from the adopted index cursor, not from whatever
+	// ring state a previous stint of this client left behind: without the
+	// alignment, a former fan-out member re-appointed as serving would drain
+	// its stale backlog — packets the client already received, long past its
+	// TTL-bounded duplicate window.
+	n.APs[entryAP].AlignQueue(mac, commit.NextIndex)
+	n.startClientKeepalive(cl)
+	return nil
+}
+
+// NearestAPTo returns the active AP closest to a point — how the admitting
+// cell picks a migrating client's entry AP from its seam-crossing position.
+func (n *Network) NearestAPTo(p mobility.Point) int { return nearestAP(n.APPosition, p) }
+
+// startClientKeepalive applies the scenario's keepalive policy to one
+// client (the same switch Build runs for non-deferred clients).
+func (n *Network) startClientKeepalive(cl *client.Client) {
+	switch {
+	case n.Scenario.KeepaliveInterval < 0:
+		// keepalives disabled
+	case n.Scenario.KeepaliveInterval == 0:
+		cl.StartKeepalive(5 * sim.Millisecond)
+	default:
+		cl.StartKeepalive(n.Scenario.KeepaliveInterval)
+	}
+}

@@ -109,18 +109,7 @@ func Build(s Scenario) (*Network, error) {
 			s.KeepaliveInterval = 20 * sim.Millisecond
 		}
 		if s.Controller == nil && s.Mode == ModeWGTT {
-			// City switching gates: omni micro-cells have much flatter ESNR
-			// gradients than the corridor's parabolics, so the §3.1.1
-			// zero-margin/40 ms defaults flap between near-equal neighbors.
-			// A longer median window, a real challenger margin, and a street
-			// -scale dwell keep switches meaningful (DESIGN.md §16).
-			cc := controller.DefaultConfig()
-			cc.Window = 100 * sim.Millisecond
-			cc.MedianMarginDB = 6
-			cc.Hysteresis = 500 * sim.Millisecond
-			// Corner turns collapse the serving link tens of dB in well
-			// under the dwell; let those switches through immediately.
-			cc.CollapseDB = 18
+			cc := CityControllerConfig()
 			s.Controller = &cc
 		}
 		if s.Mode == ModeWGTT && s.Urban.Domains > 1 {
@@ -295,6 +284,9 @@ func Build(s Scenario) (*Network, error) {
 		if s.Urban != nil {
 			lossDB = urbanAPLossDB
 		}
+		if s.APLossDB > 0 {
+			lossDB = s.APLossDB
+		}
 		ep := &radio.Endpoint{
 			Name:         cfg.Name,
 			Trace:        mobility.Stationary{At: pos},
@@ -421,19 +413,23 @@ func Build(s Scenario) (*Network, error) {
 		}
 		n.Clients = append(n.Clients, cl)
 		n.clientByMAC[ccfg.MAC] = i
-		switch {
-		case s.KeepaliveInterval < 0:
-			// keepalives disabled
-		case s.KeepaliveInterval == 0:
-			cl.StartKeepalive(5 * sim.Millisecond)
-		default:
-			cl.StartKeepalive(s.KeepaliveInterval)
+		if spec.Deferred && !wgtt {
+			return nil, fmt.Errorf("core: deferred clients are only modeled for WGTT")
+		}
+		if !spec.Deferred {
+			n.startClientKeepalive(cl)
 		}
 
 		// Association bootstrap: the §4.3 replication, performed directly.
+		// A deferred client gets its AP-side association (no serving AP)
+		// but no controller registration — AdmitCellHandoff completes the
+		// bootstrap when the client actually enters this cell.
 		if wgtt {
 			for apID, a := range n.APs {
-				a.Associate(ccfg.MAC, ccfg.IP, apID == start)
+				a.Associate(ccfg.MAC, ccfg.IP, !spec.Deferred && apID == start)
+			}
+			if spec.Deferred {
+				continue
 			}
 			if n.Fed != nil {
 				if err := n.Fed.RegisterClient(ccfg.MAC, ccfg.IP, start); err != nil {

@@ -42,6 +42,12 @@ type ClientSpec struct {
 	Trace mobility.Trace
 	// SpeedMPH is the client's design speed (sets the fading Doppler).
 	SpeedMPH float64
+	// Deferred builds the client's radio and MAC state but admits it to the
+	// network later: no keepalives and no controller registration at build
+	// time. The metro uses this for clients whose route only enters this
+	// cell mid-run — AdmitCellHandoff (metro.go) performs the deferred
+	// admission when the client migrates in. WGTT mode only.
+	Deferred bool
 }
 
 // Scenario is a complete experiment description.
@@ -90,6 +96,11 @@ type Scenario struct {
 	// omnidirectional ones (the §4.2 variant the paper says the
 	// hardware-agnostic design supports).
 	OmniAPs bool
+	// APLossDB overrides the per-AP fixed RF loss chain when > 0. The
+	// urban expansion sets the curbside small-cell figure itself; metro
+	// cells (which hand-build their AP lists from the city plan) use this
+	// to get the same install without going through Scenario.Urban.
+	APLossDB float64
 	// ControlLossRate drops WGTT control messages (stop/start/ack) on the
 	// backhaul with this probability — failure injection for the §3.1.2
 	// 30 ms retransmission path.
@@ -140,6 +151,24 @@ type Scenario struct {
 // systems compare on one map.
 func UrbanScenario(mode Mode, cfg urban.Config, seed uint64) Scenario {
 	return Scenario{Mode: mode, Seed: seed, Urban: &cfg}
+}
+
+// CityControllerConfig returns the switching gates Build applies to urban
+// scenarios: omni micro-cells have much flatter ESNR gradients than the
+// corridor's parabolics, so the §3.1.1 zero-margin/40 ms defaults flap
+// between near-equal neighbors. A longer median window, a real challenger
+// margin, and a street-scale dwell keep switches meaningful (DESIGN.md
+// §16); the CollapseDB escape lets corner-turn collapses through the dwell
+// immediately. Exported so metro cells — which hand-build their scenarios
+// from a city plan instead of going through Scenario.Urban — run the same
+// gates.
+func CityControllerConfig() controller.Config {
+	cc := controller.DefaultConfig()
+	cc.Window = 100 * sim.Millisecond
+	cc.MedianMarginDB = 6
+	cc.Hysteresis = 500 * sim.Millisecond
+	cc.CollapseDB = 18
+	return cc
 }
 
 // DriveScenario is a convenience builder: one client driving the full
@@ -193,6 +222,11 @@ const (
 	// a pole-mount install keeps only a short cable run (DESIGN.md §16).
 	urbanAPLossDB = 6
 )
+
+// CityAPLossDB is the curbside small-cell fixed RF loss, exported for
+// Scenario.APLossDB users that assemble city-style cells by hand (the metro
+// tile builder, DESIGN.md §17).
+const CityAPLossDB = urbanAPLossDB
 
 // nearestAP returns the index (within the active set) of the AP closest to
 // the client's position at time zero.

@@ -377,3 +377,33 @@ func TestRunAllRejectsUnknownID(t *testing.T) {
 		t.Fatal("unknown experiment id accepted")
 	}
 }
+
+func TestExtMetroConnectedRecovers(t *testing.T) {
+	r, err := ExtMetro(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Modes) != 2 || r.Modes[0] != "connected" || r.Modes[1] != "isolated" {
+		t.Fatalf("modes = %v", r.Modes)
+	}
+	if r.Migrations[0] == 0 {
+		t.Fatal("connected metro performed no migrations")
+	}
+	if r.Migrations[1] != 0 {
+		t.Fatalf("isolated metro migrated %d clients", r.Migrations[1])
+	}
+	// The headline: stitching the tiles back together recovers the loss the
+	// seams inflict. Clients stranded outside their birth tile's coverage
+	// are what the isolated tail-loss column measures.
+	if r.LossPct[0] >= r.LossPct[1] {
+		t.Errorf("connected loss %.2f%% not below isolated %.2f%%", r.LossPct[0], r.LossPct[1])
+	}
+	if r.TailLossPct[0] >= r.TailLossPct[1] {
+		t.Errorf("connected tail loss %.2f%% not below isolated %.2f%%",
+			r.TailLossPct[0], r.TailLossPct[1])
+	}
+	out := r.Render()
+	if !strings.Contains(out, "metro fleet") || !strings.Contains(out, "isolated") {
+		t.Errorf("render malformed:\n%s", out)
+	}
+}

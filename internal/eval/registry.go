@@ -78,6 +78,8 @@ func Experiments() []Experiment {
 			func(o Options) (Result, error) { return ExtSelector(o) }},
 		{"ext-urban", "Extension (§16): urban street-grid city with bus riders",
 			func(o Options) (Result, error) { return ExtUrban(o) }},
+		{"ext-metro", "Extension (§17): connected metro vs isolated tiles",
+			func(o Options) (Result, error) { return ExtMetro(o) }},
 	}
 }
 

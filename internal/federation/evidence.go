@@ -61,3 +61,13 @@ func quantQ(db float64) int16 {
 
 // dequantQ is the inverse.
 func dequantQ(q int16) float64 { return float64(q) / 4 }
+
+// QuantizeEvidenceDB converts a dB figure to the 0.25 dB wire quantization
+// used by the handoff evidence fields (packet.APESNR.QuantizedDB and
+// DomainHandoffOffer.EvidenceQ). Exported for the metro's cell-to-cell
+// evidence transfer, which marshals real handoff packets between cell
+// simulations (DESIGN.md §17).
+func QuantizeEvidenceDB(db float64) int16 { return quantQ(db) }
+
+// DequantizeEvidenceDB is the inverse of QuantizeEvidenceDB.
+func DequantizeEvidenceDB(q int16) float64 { return dequantQ(q) }

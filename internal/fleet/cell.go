@@ -3,7 +3,6 @@ package fleet
 import (
 	"fmt"
 	"os"
-	"path/filepath"
 
 	"wgtt/internal/core"
 	"wgtt/internal/metrics"
@@ -177,7 +176,7 @@ func RunCell(cfg Config, cell int) (CellResult, error) {
 	var rec *trace.Recorder
 	var traceFile *os.File
 	if cfg.TraceDir != "" {
-		path := filepath.Join(cfg.TraceDir, fmt.Sprintf("cell-%04d.jsonl", cell))
+		path := tracePath(cfg, cell)
 		traceFile, err = os.Create(path)
 		if err != nil {
 			return CellResult{}, fmt.Errorf("fleet: cell %d trace: %w", cell, err)

@@ -17,6 +17,7 @@ package fleet
 import (
 	"fmt"
 	"math"
+	"path/filepath"
 
 	"wgtt/internal/chaos"
 	"wgtt/internal/mobility"
@@ -104,6 +105,49 @@ type Config struct {
 	// nil keeps corridor cells and the report byte-identical to pre-urban
 	// builds.
 	Urban *urban.Config
+
+	// Metro switches the fleet from N independent cells to one connected
+	// city (DESIGN.md §17): a single urban.Graph tiled into metro cells,
+	// each tile its own core.Network advancing in lockstep epochs, with
+	// clients migrating between tile simulations as their routes cross tile
+	// seams. Run via RunMetro, not Run. Mutually exclusive with Urban,
+	// Domains and Chaos (each tile is a single-domain cell).
+	Metro *urban.MetroConfig
+	// MetroEpoch is the metro's epoch length — how long every tile advances
+	// between boundary-exchange barriers (default 500 ms). Shorter epochs
+	// admit migrating clients sooner at the cost of more barriers; the
+	// value changes the results (admission is quantized to epoch edges) but
+	// never the determinism: for a fixed epoch, reports are byte-identical
+	// for any worker count.
+	MetroEpoch sim.Time
+	// MetroIsolated cuts the seams (the ext-metro ablation): every client
+	// lives only in its first tile's simulation for the whole horizon, so a
+	// vehicle that drives out of its birth tile just recedes from that
+	// tile's APs — the pre-metro "N isolated cells" behavior on the same
+	// city. No migrations happen.
+	MetroIsolated bool
+
+	// RunID, when non-empty, prefixes per-cell trace file names
+	// (<run-id>-cell-0000.jsonl) so concurrent fleet invocations sharing
+	// one TraceDir cannot clobber each other's JSONL traces.
+	RunID string
+
+	// Progress, when non-nil, is called after each unit of work completes:
+	// (cells done, cells total) for Run, (epochs done, epochs total) for
+	// RunMetro. Calls are serialized but may come from worker goroutines;
+	// keep the hook fast. Purely observational — it must not influence
+	// results.
+	Progress func(done, total int)
+}
+
+// tracePath names one cell's JSONL event trace under cfg.TraceDir,
+// prefixed with the fleet run ID when one is set.
+func tracePath(cfg Config, cell int) string {
+	name := fmt.Sprintf("cell-%04d.jsonl", cell)
+	if cfg.RunID != "" {
+		name = fmt.Sprintf("%s-%s", cfg.RunID, name)
+	}
+	return filepath.Join(cfg.TraceDir, name)
 }
 
 // federatedDomains reports how many controller domains each cell runs: the

@@ -1,0 +1,590 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wgtt/internal/core"
+	"wgtt/internal/metrics"
+	"wgtt/internal/mobility"
+	"wgtt/internal/packet"
+	"wgtt/internal/radio"
+	"wgtt/internal/sim"
+	"wgtt/internal/stats"
+	"wgtt/internal/urban"
+)
+
+// This file is the metro engine (DESIGN.md §17): one connected city cut
+// into an R×C grid of metro cells, each tile a complete single-domain WGTT
+// simulation, advancing in lockstep time epochs on the fleet worker pool.
+// Clients whose routes cross a tile seam migrate between tile simulations
+// at epoch barriers: the source cell exports the client's volatile
+// controller state as a §13 DomainHandoffCommit, the commit round-trips
+// through the federation wire codec, and the destination cell admits the
+// client at the AP nearest its crossing point, resuming its downlink flow
+// at the exact sequence cursor the source stopped at.
+//
+// Determinism contract: the migration schedule is precomputed from the
+// (config, seed)-pure metro plan; migrations are grouped by epoch, sorted
+// by (crossing time, metro client ID), and applied on the scheduler
+// goroutine while every tile's clock sits at the same barrier instant.
+// Tiles share no mutable state between barriers, so the report is
+// byte-identical for any worker count.
+
+// defaultMetroEpoch is the epoch length when Config.MetroEpoch is unset.
+const defaultMetroEpoch = 500 * sim.Millisecond
+
+// migration is one planned seam crossing: client leaves tile From for tile
+// To at time At. Applied at the first epoch barrier at or after At.
+type migration struct {
+	At       sim.Time
+	ClientID int // metro client index — the sort tie-breaker
+	From, To int
+}
+
+// tileClient is one client's presence in one tile simulation.
+type tileClient struct {
+	MetroID int
+	Local   int // index into the tile scenario's client list
+	Flow    *core.DownUDP
+}
+
+// metroTile is one running metro cell.
+type metroTile struct {
+	Tile    int
+	Net     *core.Network
+	Clients []*tileClient
+	byMetro map[int]*tileClient
+	// MigrationsIn/Out count the seam crossings this tile admitted/exported.
+	MigrationsIn, MigrationsOut uint64
+}
+
+// metroRun is a metro deployment in flight: built tiles, the epoch
+// schedule, and the migration queue. Step advances every tile one epoch and
+// applies the barrier's migrations; the split (rather than one closed loop)
+// is what BenchmarkMetroEpoch meters.
+type metroRun struct {
+	Cfg   Config
+	Plan  *urban.MetroPlan
+	Epoch sim.Time
+
+	Tiles []*metroTile // index = tile id; nil for tiles no route visits
+
+	// byEpoch[k] holds the migrations applied at barrier (k+1)·Epoch,
+	// sorted by (time, client id).
+	byEpoch   map[int][]migration
+	epochsRun int
+	epochs    int
+
+	nextHandoffID uint32
+	stats         MetroStats
+	reg           *metrics.Registry
+	met           struct {
+		migrations   *metrics.Counter
+		seamOutageMS *metrics.Counter
+		wireBytes    *metrics.Counter
+	}
+}
+
+// MetroStats aggregates the metro-wide outcomes of a run.
+type MetroStats struct {
+	// Migrations is the number of cross-cell client migrations performed.
+	Migrations uint64
+	// SeamOutage is the total client-time lost to barrier quantization:
+	// the sum over migrations of (admission barrier − crossing time).
+	SeamOutage sim.Time
+	// HandoffWireBytes is the encoded size of every §13 commit carried
+	// across a seam — the metro's inter-cell control-plane volume.
+	HandoffWireBytes uint64
+	// Sent and Received are the metro-wide downlink datagram totals; loss
+	// is their gap (sequence cursors continue across migrations, so the
+	// totals span cells).
+	Sent, Received uint64
+	Bytes          uint64
+	Switches       uint64
+	CSIReports     uint64
+}
+
+// MetroResult is a completed metro deployment.
+type MetroResult struct {
+	Cfg       Config
+	Tiling    urban.Tiling
+	Seed      uint64
+	DurationS float64
+	EpochMS   float64
+	Epochs    int
+
+	Clients    int
+	BuiltTiles int
+	// Crossings is the planned seam-crossing count (every crossing migrates
+	// unless MetroIsolated cut the seams).
+	Crossings int
+
+	Stats MetroStats
+
+	// Per-client metro-wide outcomes, indexed by metro client ID.
+	PerClientMbps []float64
+	PerClientLoss []float64
+	AggMbps       float64
+
+	Tiles []MetroTileResult
+
+	// Metrics is the metro's observability snapshot (migration counters
+	// plus every tile's registry merged in tile order), set when
+	// cfg.Metrics is enabled. Kept out of Render so the byte-identical
+	// determinism contract is unaffected.
+	Metrics *metrics.Snapshot
+}
+
+// MetroTileResult is one tile's slice of the metro outcome.
+type MetroTileResult struct {
+	Tile                        int
+	APs                         int
+	Clients                     int // clients whose routes ever visit the tile
+	Resident                    int // clients whose routes start in the tile
+	Bytes                       uint64
+	Switches                    uint64
+	AirtimePct                  float64
+	MigrationsIn, MigrationsOut uint64
+}
+
+// RunMetro builds and runs a connected metro to completion.
+func RunMetro(cfg Config) (*MetroResult, error) {
+	m, err := newMetroRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	progress := progressFunc(m.Cfg, m.epochs)
+	for m.Step() {
+		progress()
+	}
+	progress()
+	return m.finish(), nil
+}
+
+// newMetroRun plans the city, builds every visited tile's network, and
+// precomputes the migration schedule.
+func newMetroRun(cfg Config) (*metroRun, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Metro == nil {
+		return nil, fmt.Errorf("fleet: metro run without Config.Metro")
+	}
+	if cfg.Urban != nil || cfg.Chaos != nil || cfg.Domains > 1 {
+		return nil, fmt.Errorf("fleet: metro is mutually exclusive with Urban, Chaos, and Domains")
+	}
+	epoch := cfg.MetroEpoch
+	if epoch <= 0 {
+		epoch = defaultMetroEpoch
+	}
+	seed := sim.NewRNG(cfg.Seed).Stream("fleet/metro/seed").Uint64()
+	plan, err := urban.BuildMetroPlan(*cfg.Metro, seed)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: metro plan: %w", err)
+	}
+	m := &metroRun{
+		Cfg:     cfg,
+		Plan:    plan,
+		Epoch:   epoch,
+		Tiles:   make([]*metroTile, cfg.Metro.Tiles.N()),
+		byEpoch: make(map[int][]migration),
+		epochs:  int((plan.Duration() + epoch - 1) / epoch),
+	}
+	if cfg.Metrics {
+		m.reg = metrics.NewRegistry()
+		m.met.migrations = m.reg.Counter("metro", "migrations")
+		m.met.seamOutageMS = m.reg.Counter("metro", "seam_outage_ms")
+		m.met.wireBytes = m.reg.Counter("metro", "handoff_wire_bytes")
+	}
+
+	// Bind each client to the tiles its route visits. Isolated mode pins
+	// every client to its first tile for the whole horizon — the same city,
+	// seams cut.
+	visitors := make([][]presence, len(m.Tiles))
+	for ci, mc := range plan.Clients {
+		if cfg.MetroIsolated {
+			t := mc.Visits[0].Tile
+			visitors[t] = append(visitors[t], presence{metroID: ci, from: 0, to: plan.Duration()})
+			continue
+		}
+		first := make(map[int]sim.Time)
+		last := make(map[int]sim.Time)
+		for _, v := range mc.Visits {
+			if _, ok := first[v.Tile]; !ok {
+				first[v.Tile] = v.Enter
+			}
+			last[v.Tile] = v.Exit
+		}
+		for t, from := range first {
+			visitors[t] = append(visitors[t], presence{
+				metroID: ci, from: from, to: last[t], deferred: from > 0,
+			})
+		}
+		for k := 1; k < len(mc.Visits); k++ {
+			mig := migration{
+				At:       mc.Visits[k].Enter,
+				ClientID: ci,
+				From:     mc.Visits[k-1].Tile,
+				To:       mc.Visits[k].Tile,
+			}
+			e := int(mig.At / epoch)
+			m.byEpoch[e] = append(m.byEpoch[e], mig)
+		}
+	}
+	for _, migs := range m.byEpoch {
+		sort.Slice(migs, func(i, j int) bool {
+			if migs[i].At != migs[j].At {
+				return migs[i].At < migs[j].At
+			}
+			return migs[i].ClientID < migs[j].ClientID
+		})
+	}
+
+	// Build the visited tiles. Tile build order is index order and every
+	// quantity derives from (plan, tile), so the build is deterministic;
+	// tiles no route ever enters stay nil (core.Build needs ≥ 1 client, and
+	// an empty simulation would change nothing).
+	frng := sim.NewRNG(cfg.Seed)
+	for t := range m.Tiles {
+		if len(visitors[t]) == 0 {
+			continue
+		}
+		sort.Slice(visitors[t], func(i, j int) bool {
+			return visitors[t][i].metroID < visitors[t][j].metroID
+		})
+		tile, err := m.buildTile(t, visitors[t], frng)
+		if err != nil {
+			return nil, err
+		}
+		m.Tiles[t] = tile
+	}
+	return m, nil
+}
+
+// presence is one client's residence window in one tile: from first entry
+// to last exit, deferred when the window does not open at time zero.
+type presence struct {
+	metroID  int
+	from, to sim.Time
+	deferred bool
+}
+
+// buildTile assembles one metro cell: the tile's AP sites, every visiting
+// client clipped to its presence window, and one downlink UDP flow per
+// client. Clients whose first visit starts mid-run are built deferred —
+// AdmitCellHandoff completes their bootstrap when they migrate in.
+func (m *metroRun) buildTile(t int, visitors []presence, frng *sim.RNG) (*metroTile, error) {
+	plan := m.Plan
+	params := radio.DefaultParams()
+	params.Obstruction = plan.City.Graph.BlockageDB
+	cc := core.CityControllerConfig()
+	s := core.Scenario{
+		Mode:              core.ModeWGTT,
+		Seed:              frng.Stream(fmt.Sprintf("fleet/metro/tile/%d/seed", t)).Uint64(),
+		Duration:          plan.Duration(),
+		Radio:             &params,
+		Controller:        &cc,
+		Selector:          m.Cfg.Selector,
+		OmniAPs:           true,
+		APLossDB:          core.CityAPLossDB,
+		KeepaliveInterval: 20 * sim.Millisecond,
+	}
+	for _, site := range plan.TileAPs[t] {
+		s.APPositions = append(s.APPositions, plan.City.APs[site].Pos)
+	}
+	for _, v := range visitors {
+		cp := plan.Clients[v.metroID].Plan
+		var tr mobility.Trace = cp.Trace
+		if !m.Cfg.MetroIsolated {
+			// Clip to the presence window: outside it the client sits
+			// parked at its seam-crossing point instead of extrapolating
+			// into another tile's geography. Isolated mode keeps the full
+			// city trace — the client drives out of its birth tile's
+			// coverage, which is exactly the behavior being ablated.
+			tr = mobility.Clip{Inner: cp.Trace, From: v.from, To: v.to}
+		}
+		s.Clients = append(s.Clients, core.ClientSpec{
+			Trace:    tr,
+			SpeedMPH: cp.SpeedMPH,
+			Deferred: v.deferred,
+		})
+	}
+	n, err := core.Build(s)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: metro tile %d: %w", t, err)
+	}
+	if m.Cfg.Metrics {
+		n.EnableMetrics()
+	}
+	tile := &metroTile{Tile: t, Net: n, byMetro: make(map[int]*tileClient)}
+	for local, v := range visitors {
+		tc := &tileClient{
+			MetroID: v.metroID,
+			Local:   local,
+			Flow:    n.AddDownlinkUDP(local, m.Cfg.UDPRateMbps, 1400),
+		}
+		tile.Clients = append(tile.Clients, tc)
+		tile.byMetro[v.metroID] = tc
+		if !v.deferred {
+			tc.Flow.Sender.Start()
+		}
+		if m.Cfg.MetroIsolated {
+			continue
+		}
+		// Exits are in-simulation events: the flow and the keepalive stream
+		// stop at the instant the route leaves the tile, not at the next
+		// barrier, so a departed client stops consuming the tile's airtime
+		// immediately. (The controller keeps its state until the barrier's
+		// export — harmless, it just serves a silent client.)
+		cl := n.Clients[local]
+		sender := tc.Flow.Sender
+		for _, vis := range plan.Clients[v.metroID].Visits {
+			if vis.Tile != t || vis.Exit >= plan.Duration() {
+				continue
+			}
+			n.Eng.At(vis.Exit, func() {
+				sender.Stop()
+				cl.StopKeepalive()
+			})
+		}
+	}
+	return tile, nil
+}
+
+// Step advances every tile one epoch and applies the barrier's migrations.
+// Returns false once the horizon is reached. Tiles run concurrently on the
+// worker pool; migrations apply on the calling goroutine in (time, client)
+// order while every clock sits at the barrier.
+func (m *metroRun) Step() bool {
+	if m.epochsRun >= m.epochs {
+		return false
+	}
+	end := sim.Time(m.epochsRun+1) * m.Epoch
+	if end > m.Plan.Duration() {
+		end = m.Plan.Duration()
+	}
+	var built []*metroTile
+	for _, tile := range m.Tiles {
+		if tile != nil {
+			built = append(built, tile)
+		}
+	}
+	ForEach(len(built), m.Cfg.Workers, func(i int) {
+		built[i].Net.RunUntil(end)
+	})
+	for _, mig := range m.byEpoch[m.epochsRun] {
+		m.migrate(mig, end)
+	}
+	m.epochsRun++
+	return m.epochsRun < m.epochs
+}
+
+// migrate moves one client between tile simulations at a barrier. The §13
+// commit is encoded and decoded through the real federation wire format, so
+// exactly what the protocol can carry crosses the seam — identity is the
+// one translation the metro layer adds, since each cell names its clients
+// in its own local MAC/IP namespace.
+func (m *metroRun) migrate(mig migration, barrier sim.Time) {
+	src, dst := m.Tiles[mig.From], m.Tiles[mig.To]
+	from, to := src.byMetro[mig.ClientID], dst.byMetro[mig.ClientID]
+
+	m.nextHandoffID++
+	commit, err := src.Net.ExportCellHandoff(from.Local, m.nextHandoffID)
+	if err != nil {
+		// An unadmitted source (e.g. a boundary-flicker double-cross inside
+		// one epoch resolved the client elsewhere) cannot export; the
+		// client keeps its current cell until its next crossing.
+		return
+	}
+	seq, ipid := from.Flow.Sender.Cursor()
+	from.Flow.Sender.Stop()
+
+	entryAP := dst.Net.NearestAPTo(m.Plan.Clients[mig.ClientID].Plan.Trace.Position(mig.At))
+	commit.TargetAP = dst.Net.APs[entryAP].Config().IP
+
+	// Wire round-trip (cell-to-cell evidence transfer over the §13 format).
+	wire := packet.Encode(commit)
+	decoded, err := packet.Decode(wire)
+	if err != nil {
+		panic(fmt.Sprintf("fleet: metro handoff commit does not round-trip: %v", err))
+	}
+	commit = decoded.(*packet.DomainHandoffCommit)
+
+	if err := dst.Net.AdmitCellHandoff(to.Local, entryAP, commit); err != nil {
+		panic(fmt.Sprintf("fleet: metro admission: %v", err))
+	}
+	to.Flow.Sender.Resume(seq, ipid)
+	to.Flow.Sender.Start()
+
+	src.MigrationsOut++
+	dst.MigrationsIn++
+	m.stats.Migrations++
+	m.stats.SeamOutage += barrier - mig.At
+	m.stats.HandoffWireBytes += uint64(len(wire))
+	m.met.migrations.Inc()
+	m.met.seamOutageMS.Add(uint64((barrier - mig.At) / sim.Millisecond))
+	m.met.wireBytes.Add(uint64(len(wire)))
+}
+
+// finish collects the per-tile and per-client outcomes into the result.
+func (m *metroRun) finish() *MetroResult {
+	plan := m.Plan
+	dur := plan.Duration()
+	res := &MetroResult{
+		Cfg:       m.Cfg,
+		Tiling:    m.Cfg.Metro.Tiles,
+		Seed:      m.Cfg.Seed,
+		DurationS: dur.Seconds(),
+		EpochMS:   float64(m.Epoch) / float64(sim.Millisecond),
+		Epochs:    m.epochs,
+		Clients:   len(plan.Clients),
+		Crossings: plan.Crossings,
+		Stats:     m.stats,
+	}
+
+	sent := make([]uint64, len(plan.Clients))
+	recv := make([]uint64, len(plan.Clients))
+	bytes := make([]uint64, len(plan.Clients))
+	for t, tile := range m.Tiles {
+		if tile == nil {
+			continue
+		}
+		res.BuiltTiles++
+		var tileBytes uint64
+		for _, tc := range tile.Clients {
+			sent[tc.MetroID] += tc.Flow.Sender.Sent
+			recv[tc.MetroID] += tc.Flow.Receiver.Received
+			bytes[tc.MetroID] += tc.Flow.Receiver.Bytes
+			tileBytes += tc.Flow.Receiver.Bytes
+		}
+		st := tile.Net.CtlStats()
+		res.Stats.Switches += st.SwitchesDone
+		res.Stats.CSIReports += st.CSIReports
+		res.Tiles = append(res.Tiles, MetroTileResult{
+			Tile:          t,
+			APs:           len(plan.TileAPs[t]),
+			Clients:       len(tile.Clients),
+			Resident:      residentCount(plan, t),
+			Bytes:         tileBytes,
+			Switches:      st.SwitchesDone,
+			AirtimePct:    100 * tile.Net.Medium.Utilization(),
+			MigrationsIn:  tile.MigrationsIn,
+			MigrationsOut: tile.MigrationsOut,
+		})
+	}
+	var total uint64
+	for ci := range plan.Clients {
+		total += bytes[ci]
+		mbps := 0.0
+		if dur > 0 {
+			mbps = float64(bytes[ci]) * 8 / 1e6 / dur.Seconds()
+		}
+		res.PerClientMbps = append(res.PerClientMbps, mbps)
+		loss := 0.0
+		if sent[ci] > 0 && recv[ci] < sent[ci] {
+			loss = float64(sent[ci]-recv[ci]) / float64(sent[ci])
+		}
+		res.PerClientLoss = append(res.PerClientLoss, loss)
+		res.Stats.Sent += sent[ci]
+		res.Stats.Received += recv[ci]
+		res.Stats.Bytes += bytes[ci]
+	}
+	if dur > 0 {
+		res.AggMbps = float64(total) * 8 / 1e6 / dur.Seconds()
+	}
+	res.Seed = m.Cfg.Seed
+	if m.reg != nil {
+		snaps := []metrics.Snapshot{m.reg.Snapshot()}
+		for _, tile := range m.Tiles {
+			if tile != nil && tile.Net.Metrics != nil {
+				snaps = append(snaps, tile.Net.Metrics.Snapshot())
+			}
+		}
+		merged := metrics.Merge(snaps...)
+		res.Metrics = &merged
+	}
+	return res
+}
+
+// residentCount counts clients whose routes start in tile t.
+func residentCount(plan *urban.MetroPlan, t int) int {
+	n := 0
+	for _, c := range plan.Clients {
+		if c.Visits[0].Tile == t {
+			n++
+		}
+	}
+	return n
+}
+
+// Render produces the metro deployment report — a pure function of the
+// result, worker-count-independent by construction.
+func (r *MetroResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "WGTT metro deployment report\n")
+	city := r.Cfg.Metro.City
+	fmt.Fprintf(&b, "tiles %s (%d built of %d)  city %dx%d blocks (%.0f m)  fleet seed %d\n",
+		r.Tiling, r.BuiltTiles, r.Tiling.N(), city.Rows, city.Cols, city.BlockM, r.Seed)
+	mode := "connected"
+	if r.Cfg.MetroIsolated {
+		mode = "isolated (seams cut)"
+	}
+	fmt.Fprintf(&b, "mode %s  epoch %.0f ms (%d epochs over %.1f s)\n",
+		mode, r.EpochMS, r.Epochs, r.DurationS)
+	fmt.Fprintf(&b, "clients %d  planned seam crossings %d  offered udp %.2f Mb/s each\n",
+		r.Clients, r.Crossings, r.Cfg.UDPRateMbps)
+
+	loss := 0.0
+	if r.Stats.Sent > 0 {
+		loss = float64(r.Stats.Sent-r.Stats.Received) / float64(r.Stats.Sent)
+	}
+	fmt.Fprintf(&b, "metro capacity %.2f Mb/s delivered  datagrams %d/%d (loss %.4f)\n",
+		r.AggMbps, r.Stats.Received, r.Stats.Sent, loss)
+	fmt.Fprintf(&b, "migrations %d  seam outage %.0f ms total  handoff wire %d B  switches %d\n\n",
+		r.Stats.Migrations, float64(r.Stats.SeamOutage)/float64(sim.Millisecond),
+		r.Stats.HandoffWireBytes, r.Stats.Switches)
+
+	b.WriteString("Per-client goodput and loss\n")
+	g := &stats.CDF{}
+	g.AddAll(r.PerClientMbps)
+	l := &stats.CDF{}
+	l.AddAll(r.PerClientLoss)
+	d := &stats.Table{Header: []string{"metric", "n", "p5", "p25", "p50", "p75", "p95", "max"}}
+	row := func(name string, c *stats.CDF) {
+		qs := stats.Quantiles(c, 0.05, 0.25, 0.50, 0.75, 0.95, 1)
+		cells := []string{name, fmt.Sprintf("%d", c.N())}
+		for _, q := range qs {
+			cells = append(cells, stats.F(q))
+		}
+		d.AddRow(cells...)
+	}
+	row("client goodput (Mb/s)", g)
+	row("client loss fraction", l)
+	b.WriteString(d.String())
+
+	// The per-tile table is the debugging view; at metro scale (1,000+
+	// tiles) it would dwarf the report, so it caps at 64 built tiles —
+	// a threshold on the result, not on anything runtime-dependent.
+	if r.BuiltTiles <= 64 {
+		b.WriteString("\nPer-tile activity\n")
+		t := &stats.Table{Header: []string{
+			"tile", "aps", "clients", "resident", "MB", "switches", "mig-in", "mig-out", "airtime%"}}
+		for i := range r.Tiles {
+			c := &r.Tiles[i]
+			t.AddRow(fmt.Sprintf("%d", c.Tile), fmt.Sprintf("%d", c.APs),
+				fmt.Sprintf("%d", c.Clients), fmt.Sprintf("%d", c.Resident),
+				stats.F(float64(c.Bytes)/1e6), fmt.Sprintf("%d", c.Switches),
+				fmt.Sprintf("%d", c.MigrationsIn), fmt.Sprintf("%d", c.MigrationsOut),
+				stats.F(c.AirtimePct))
+		}
+		b.WriteString(t.String())
+	} else {
+		var in uint64
+		for i := range r.Tiles {
+			in += r.Tiles[i].MigrationsIn
+		}
+		fmt.Fprintf(&b, "\n(%d built tiles; per-tile table suppressed, %d migrations admitted)\n",
+			r.BuiltTiles, in)
+	}
+	return b.String()
+}

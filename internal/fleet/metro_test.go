@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"wgtt/internal/urban"
+)
+
+// metroTestConfig keeps the quadratic medium cost small: a 3x3-block city
+// cut into 2x2 tiles, six clients, a short horizon — but with real seam
+// crossings, which is the whole point.
+func metroTestConfig(workers int) Config {
+	city := urban.DefaultConfig()
+	city.Rows, city.Cols = 3, 3
+	city.APSpacingM = 30
+	city.RidersPerBus = 3
+	city.Cars = 1
+	city.Pedestrians = 1
+	city.MaxDurationS = 15
+	city.Domains = 1 // metro cities are tiled, not slab-federated
+	return Config{
+		Seed:        7,
+		Workers:     workers,
+		UDPRateMbps: 4,
+		Metro: &urban.MetroConfig{
+			Tiles: urban.Tiling{Rows: 2, Cols: 2},
+			City:  city,
+		},
+	}
+}
+
+// TestMetroDeterministicAcrossWorkers is the tentpole determinism gate:
+// one connected city, clients migrating across tile seams, and the report
+// must come out byte-identical for 1, 4, and 8 workers.
+func TestMetroDeterministicAcrossWorkers(t *testing.T) {
+	ref, err := RunMetro(metroTestConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Render()
+	for _, workers := range []int{4, 8} {
+		got, err := RunMetro(metroTestConfig(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := got.Render(); r != want {
+			t.Fatalf("metro reports differ: workers=1 vs workers=%d:\n%s\n---\n%s", workers, want, r)
+		}
+	}
+	if ref.Stats.Migrations == 0 {
+		t.Fatalf("connected metro performed no migrations:\n%s", want)
+	}
+	if ref.Stats.Migrations > uint64(ref.Crossings) {
+		t.Fatalf("migrations %d exceed planned crossings %d", ref.Stats.Migrations, ref.Crossings)
+	}
+	if ref.Stats.HandoffWireBytes == 0 {
+		t.Fatal("migrations happened but no handoff bytes crossed the wire")
+	}
+	if ref.Stats.SeamOutage <= 0 {
+		t.Fatal("migrations happened with zero seam outage (barrier quantization must cost time)")
+	}
+	if ref.AggMbps <= 0 {
+		t.Fatal("metro delivered nothing")
+	}
+	if ref.Stats.Received > ref.Stats.Sent {
+		t.Fatalf("received %d > sent %d", ref.Stats.Received, ref.Stats.Sent)
+	}
+	if ref.BuiltTiles < 2 {
+		t.Fatalf("built tiles %d: a connected metro test needs at least two", ref.BuiltTiles)
+	}
+	// Migration bookkeeping must balance: every export is someone's import.
+	var in, out uint64
+	for _, tile := range ref.Tiles {
+		in += tile.MigrationsIn
+		out += tile.MigrationsOut
+	}
+	if in != out || in != ref.Stats.Migrations {
+		t.Fatalf("migration ledger unbalanced: in %d out %d total %d", in, out, ref.Stats.Migrations)
+	}
+}
+
+// TestMetroIsolatedCutsSeams pins the ext-metro ablation: the same city
+// with seams cut performs no migrations and says so in the report.
+func TestMetroIsolatedCutsSeams(t *testing.T) {
+	cfg := metroTestConfig(4)
+	cfg.MetroIsolated = true
+	res, err := RunMetro(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Migrations != 0 {
+		t.Fatalf("isolated metro migrated %d clients", res.Stats.Migrations)
+	}
+	if res.Stats.SeamOutage != 0 || res.Stats.HandoffWireBytes != 0 {
+		t.Fatalf("isolated metro has seam costs: outage %v wire %d",
+			res.Stats.SeamOutage, res.Stats.HandoffWireBytes)
+	}
+	if !strings.Contains(res.Render(), "isolated (seams cut)") {
+		t.Fatalf("isolated report does not say so:\n%s", res.Render())
+	}
+	// The planner still counts the crossings the seams would have carried.
+	if res.Crossings == 0 {
+		t.Fatal("isolated plan shows no crossings — the ablation compares nothing")
+	}
+}
+
+// TestMetroRunRejectsConfigConflicts pins the mode split and the mutual
+// exclusions: metro deployments run via RunMetro only, and a metro cannot
+// stack the per-cell urban/chaos/federation layers.
+func TestMetroRunRejectsConfigConflicts(t *testing.T) {
+	if _, err := Run(metroTestConfig(1)); err == nil {
+		t.Fatal("Run accepted a metro config")
+	}
+	if _, err := RunMetro(Config{Seed: 1}); err == nil {
+		t.Fatal("RunMetro accepted a config without Metro")
+	}
+	bad := metroTestConfig(1)
+	bad.Urban = &bad.Metro.City
+	if _, err := RunMetro(bad); err == nil {
+		t.Fatal("RunMetro accepted Metro+Urban")
+	}
+	bad = metroTestConfig(1)
+	bad.Domains = 2
+	if _, err := RunMetro(bad); err == nil {
+		t.Fatal("RunMetro accepted Metro+Domains")
+	}
+}
+
+// TestMetroProgressReportsEpochs checks the progress hook fires once per
+// epoch with a monotone (done, total) sequence.
+func TestMetroProgressReportsEpochs(t *testing.T) {
+	cfg := metroTestConfig(2)
+	cfg.Metro.City.MaxDurationS = 5
+	var dones []int
+	total := -1
+	cfg.Progress = func(done, tot int) {
+		dones = append(dones, done)
+		total = tot
+	}
+	res, err := RunMetro(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != res.Epochs {
+		t.Fatalf("progress total %d, want %d epochs", total, res.Epochs)
+	}
+	if len(dones) != res.Epochs {
+		t.Fatalf("progress fired %d times, want %d", len(dones), res.Epochs)
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("progress sequence %v not monotone", dones)
+		}
+	}
+}
+
+// BenchmarkMetroEpoch meters one epoch of metro time: every tile advancing
+// one barrier interval plus the barrier's migrations. Build cost is excluded;
+// the run is rebuilt whenever the horizon is exhausted.
+func BenchmarkMetroEpoch(b *testing.B) {
+	cfg := metroTestConfig(4)
+	m, err := newMetroRun(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !m.Step() {
+			b.StopTimer()
+			m, err = newMetroRun(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}

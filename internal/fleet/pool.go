@@ -2,6 +2,24 @@ package fleet
 
 import "sync"
 
+// progressFunc wraps cfg.Progress into a completion callback: each call
+// marks one of total units done and reports (done, total). Calls are
+// serialized under a mutex so worker goroutines can fire it directly; a nil
+// hook costs one no-op call.
+func progressFunc(cfg Config, total int) func() {
+	if cfg.Progress == nil {
+		return func() {}
+	}
+	var mu sync.Mutex
+	done := 0
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		cfg.Progress(done, total)
+	}
+}
+
 // ForEach runs fn(i) for every i in [0, n) across a bounded pool of
 // workers goroutines. With workers <= 1 it degenerates to a plain
 // sequential loop on the calling goroutine, so single-worker runs have no

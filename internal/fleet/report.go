@@ -20,10 +20,15 @@ type Result struct {
 // report — is identical for every worker count.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Metro != nil {
+		return nil, fmt.Errorf("fleet: metro deployments run via RunMetro")
+	}
 	cells := make([]CellResult, cfg.Cells)
 	errs := make([]error, cfg.Cells)
+	progress := progressFunc(cfg, cfg.Cells)
 	ForEach(cfg.Cells, cfg.Workers, func(i int) {
 		cells[i], errs[i] = RunCell(cfg, i)
+		progress()
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -3,7 +3,6 @@ package fleet
 import (
 	"fmt"
 	"os"
-	"path/filepath"
 
 	"wgtt/internal/core"
 	"wgtt/internal/sim"
@@ -69,7 +68,7 @@ func runUrbanCell(cfg Config, cell int, plan CellPlan) (CellResult, error) {
 
 	var rec *trace.Recorder
 	if cfg.TraceDir != "" {
-		path := filepath.Join(cfg.TraceDir, fmt.Sprintf("cell-%04d.jsonl", cell))
+		path := tracePath(cfg, cell)
 		traceFile, err := os.Create(path)
 		if err != nil {
 			return CellResult{}, fmt.Errorf("fleet: urban cell %d trace: %w", cell, err)

@@ -313,3 +313,27 @@ func TestDenseArray(t *testing.T) {
 		}
 	}
 }
+
+func TestClipWindowsTrace(t *testing.T) {
+	inner := &LinearDrive{Start: Point{X: 0}, Vel: Point{X: 10}}
+	c := Clip{Inner: inner, From: sim.FromSeconds(1), To: sim.FromSeconds(3)}
+	// Before the window: parked at the From-time position.
+	if got := c.Position(0); got != inner.Position(sim.FromSeconds(1)) {
+		t.Fatalf("pre-window position = %v, want frozen at From", got)
+	}
+	if c.Velocity(0) != (Point{}) {
+		t.Fatal("pre-window velocity must be zero")
+	}
+	// Inside: passes through.
+	mid := sim.FromSeconds(2)
+	if c.Position(mid) != inner.Position(mid) || c.Velocity(mid) != inner.Velocity(mid) {
+		t.Fatal("in-window samples must match the inner trace")
+	}
+	// After: parked at the To-time position.
+	if got := c.Position(sim.FromSeconds(9)); got != inner.Position(sim.FromSeconds(3)) {
+		t.Fatalf("post-window position = %v, want frozen at To", got)
+	}
+	if c.Velocity(sim.FromSeconds(9)) != (Point{}) {
+		t.Fatal("post-window velocity must be zero")
+	}
+}

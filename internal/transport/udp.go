@@ -79,6 +79,20 @@ func (u *UDPSender) Stop() {
 	u.timer.Stop()
 }
 
+// Cursor returns the sender's next sequence number and IP ID. Together with
+// Resume it lets a flow continue across simulations: when a metro client
+// migrates between cells, the destination cell's sender resumes exactly
+// where the source cell's stopped, so receiver-side loss accounting (which
+// infers the horizon from the highest sequence seen) stays truthful.
+func (u *UDPSender) Cursor() (seq uint32, ipid uint16) { return u.seq, u.ipid }
+
+// Resume positions the sender at the given sequence/IP-ID cursor. Call
+// before Start on a stopped sender.
+func (u *UDPSender) Resume(seq uint32, ipid uint16) {
+	u.seq = seq
+	u.ipid = ipid
+}
+
 func (u *UDPSender) tick() {
 	p := &packet.Packet{
 		FlowID:    u.flowID,

@@ -157,20 +157,10 @@ func (g *Graph) PlaceAPs(spacingM, setbackM float64) []APSite {
 // Partition maps a position to one of nDom federation domains: vertical
 // slabs of equal width across the city's X extent. Contiguous geography —
 // not contiguous AP indices — decides ownership, so a vehicle crossing an
-// avenue mid-block really does cross a controller boundary.
+// avenue mid-block really does cross a controller boundary. It is the
+// 1×nDom special case of the metro tile grid (tile.go).
 func (g *Graph) Partition(p mobility.Point, nDom int) int {
-	if nDom <= 1 {
-		return 0
-	}
-	span := float64(g.Cols-1) * g.BlockM
-	d := int(p.X / span * float64(nDom))
-	if d < 0 {
-		d = 0
-	}
-	if d >= nDom {
-		d = nDom - 1
-	}
-	return d
+	return g.Tile(p, Tiling{Rows: 1, Cols: nDom})
 }
 
 // ShortestPath returns the fastest node path from one intersection to
